@@ -1,0 +1,372 @@
+// Benchmarks: one testing.B target per table and figure of the paper's
+// evaluation (Section 6), micro-benchmarks of the hot paths, and ablation
+// benchmarks for the design choices called out in DESIGN.md §4.
+//
+// The per-figure benches run reduced-scale simulations (the shapes are
+// scale-stable; see DESIGN.md §2.8) and report the headline shape numbers
+// via b.ReportMetric so a regression in *behaviour*, not just speed, is
+// visible in benchmark diffs. cmd/sqlb-experiments regenerates the full
+// artifacts.
+package sqlb_test
+
+import (
+	"testing"
+
+	"sqlb"
+	"sqlb/internal/allocator"
+	"sqlb/internal/core"
+	"sqlb/internal/experiments"
+	"sqlb/internal/intention"
+	"sqlb/internal/metrics"
+	"sqlb/internal/model"
+	"sqlb/internal/randx"
+	"sqlb/internal/satisfaction"
+	"sqlb/internal/sim"
+	"sqlb/internal/workload"
+)
+
+// benchConfig is the reduced scale used by the per-figure benches.
+func benchConfig() experiments.Config {
+	return experiments.Config{
+		Scale:          0.05, // 10 consumers, 20 providers
+		Duration:       400,
+		SweepDuration:  1600, // past the 300 s grace + assessment convergence, so departures register
+		Repeats:        1,
+		BaseSeed:       5,
+		SampleInterval: 50,
+		Workloads:      []float64{0.4, 0.8},
+	}
+}
+
+// runExperiment executes one experiment per iteration on a fresh lab.
+func runExperiment(b *testing.B, id string) *experiments.Result {
+	b.Helper()
+	var res *experiments.Result
+	for i := 0; i < b.N; i++ {
+		lab := experiments.NewLab(benchConfig())
+		var err error
+		res, err = lab.Run(id)
+		if err != nil {
+			b.Fatalf("%s: %v", id, err)
+		}
+	}
+	return res
+}
+
+// lastY returns the last y of the named series in the result's only chart.
+func lastY(b *testing.B, res *experiments.Result, series string) float64 {
+	b.Helper()
+	for _, s := range res.Charts[0].Series {
+		if s.Name == series && len(s.Points) > 0 {
+			return s.Points[len(s.Points)-1].Y
+		}
+	}
+	b.Fatalf("series %q not found", series)
+	return 0
+}
+
+func BenchmarkTable1Scenario(b *testing.B) {
+	res := runExperiment(b, "table1")
+	if res.Tables[0].Rows[4][6] != "yes" {
+		b.Fatal("table1: p5 not selected")
+	}
+}
+
+func BenchmarkFig2Surface(b *testing.B) {
+	res := runExperiment(b, "fig2")
+	b.ReportMetric(float64(len(res.Tables[0].Rows)), "grid-points")
+}
+
+func BenchmarkFig3OmegaSurface(b *testing.B) {
+	res := runExperiment(b, "fig3")
+	b.ReportMetric(float64(len(res.Tables[0].Rows)), "grid-points")
+}
+
+func benchFig4Panel(b *testing.B, id, metric string) {
+	res := runExperiment(b, id)
+	b.ReportMetric(lastY(b, res, "SQLB"), "sqlb-"+metric)
+	b.ReportMetric(lastY(b, res, "Capacity based"), "capacity-"+metric)
+}
+
+func BenchmarkFig4aProviderSatisfaction(b *testing.B) {
+	benchFig4Panel(b, "fig4a", "final-sat")
+}
+
+func BenchmarkFig4bProviderSatisfactionPrefs(b *testing.B) {
+	benchFig4Panel(b, "fig4b", "final-sat")
+}
+
+func BenchmarkFig4cProviderAllocSatisfaction(b *testing.B) {
+	benchFig4Panel(b, "fig4c", "final-allocsat")
+}
+
+func BenchmarkFig4dProviderSatFairness(b *testing.B) {
+	benchFig4Panel(b, "fig4d", "final-fairness")
+}
+
+func BenchmarkFig4eConsumerAllocSatisfaction(b *testing.B) {
+	res := runExperiment(b, "fig4e")
+	// The paper's claim: SQLB satisfies consumers (δas > 1), baselines are
+	// neutral (≈1).
+	b.ReportMetric(lastY(b, res, "SQLB"), "sqlb-consumer-allocsat")
+	b.ReportMetric(lastY(b, res, "Capacity based"), "capacity-consumer-allocsat")
+}
+
+func BenchmarkFig4fConsumerSatFairness(b *testing.B) {
+	benchFig4Panel(b, "fig4f", "final-fairness")
+}
+
+func BenchmarkFig4gUtilizationMean(b *testing.B) {
+	benchFig4Panel(b, "fig4g", "final-util")
+}
+
+func BenchmarkFig4hUtilizationFairness(b *testing.B) {
+	benchFig4Panel(b, "fig4h", "final-fairness")
+}
+
+func BenchmarkFig4iResponseTimeCaptive(b *testing.B) {
+	res := runExperiment(b, "fig4i")
+	sqlbRT := lastY(b, res, "SQLB")
+	capRT := lastY(b, res, "Capacity based")
+	marRT := lastY(b, res, "Mariposa-like")
+	if capRT > 0 {
+		b.ReportMetric(sqlbRT/capRT, "sqlb/capacity-ratio")
+		b.ReportMetric(marRT/capRT, "mariposa/capacity-ratio")
+	}
+}
+
+func BenchmarkFig5aResponseTimeAutonomy(b *testing.B) {
+	res := runExperiment(b, "fig5a")
+	b.ReportMetric(lastY(b, res, "SQLB"), "sqlb-resp-s")
+	b.ReportMetric(lastY(b, res, "Capacity based"), "capacity-resp-s")
+}
+
+func BenchmarkFig5bResponseTimeFullAutonomy(b *testing.B) {
+	res := runExperiment(b, "fig5b")
+	b.ReportMetric(lastY(b, res, "SQLB"), "sqlb-resp-s")
+	b.ReportMetric(lastY(b, res, "Capacity based"), "capacity-resp-s")
+}
+
+func BenchmarkFig5cProviderDepartures(b *testing.B) {
+	res := runExperiment(b, "fig5c")
+	b.ReportMetric(lastY(b, res, "SQLB"), "sqlb-departures-pct")
+	b.ReportMetric(lastY(b, res, "Capacity based"), "capacity-departures-pct")
+}
+
+func BenchmarkTable3DepartureReasons(b *testing.B) {
+	res := runExperiment(b, "table3")
+	b.ReportMetric(float64(len(res.Tables[0].Rows)), "rows")
+}
+
+func BenchmarkFig6ConsumerDepartures(b *testing.B) {
+	res := runExperiment(b, "fig6")
+	b.ReportMetric(lastY(b, res, "SQLB"), "sqlb-departures-pct")
+	b.ReportMetric(lastY(b, res, "Mariposa-like"), "mariposa-departures-pct")
+}
+
+// --- micro-benchmarks of the hot paths ---
+
+func BenchmarkScore(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		core.Score(0.7, 0.4, 0.6, 1)
+	}
+}
+
+func BenchmarkScoreNegativeBranch(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		core.Score(-0.7, 0.4, 0.6, 1)
+	}
+}
+
+func BenchmarkProviderIntention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		intention.Provider(0.6, 0.8, 0.5, 1)
+	}
+}
+
+func BenchmarkConsumerIntention(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		intention.Consumer(0.6, 0.8, 0.7, 1)
+	}
+}
+
+func benchRank(b *testing.B, n int) {
+	rng := randx.New(3)
+	pi := make([]float64, n)
+	ci := make([]float64, n)
+	om := make([]float64, n)
+	for i := range pi {
+		pi[i] = rng.Uniform(-1, 1)
+		ci[i] = rng.Uniform(-1, 1)
+		om[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.Rank(pi, ci, om, 1)
+	}
+}
+
+func BenchmarkRank100(b *testing.B) { benchRank(b, 100) }
+
+func BenchmarkRank400(b *testing.B) { benchRank(b, 400) }
+
+func BenchmarkFairness400(b *testing.B) {
+	rng := randx.New(4)
+	vs := make([]float64, 400)
+	for i := range vs {
+		vs[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		metrics.Fairness(vs)
+	}
+}
+
+func BenchmarkProviderTrackerRecord(b *testing.B) {
+	pt := satisfaction.NewProviderTracker(500, 0.5, 50)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Record(0.3, i%400 == 0)
+	}
+}
+
+func BenchmarkMediatorAllocate(b *testing.B) {
+	cfg := model.DefaultConfig() // full 400-provider Pq, the paper's hot path
+	pop := sqlb.NewPopulation(cfg, 9)
+	med := sqlb.NewMediator(sqlb.NewSQLB())
+	q := &model.Query{ID: 1, Consumer: pop.Consumers[0], Class: 0, Units: 130, N: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := med.Allocate(float64(i)*0.01, q, pop); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulationThroughput(b *testing.B) {
+	// Events per wall-second of the whole discrete-event pipeline.
+	for i := 0; i < b.N; i++ {
+		opts := sim.Options{
+			Config:   model.DefaultConfig().Scale(0.1),
+			Strategy: allocator.NewSQLB(),
+			Workload: workload.Constant(0.6),
+			Duration: 300,
+			Seed:     uint64(i + 1),
+		}
+		eng, err := sim.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := eng.Run()
+		b.ReportMetric(float64(res.IssuedQueries), "queries/run")
+	}
+}
+
+// --- ablation benchmarks (DESIGN.md §4) ---
+
+func ablationRun(b *testing.B, strategy allocator.Allocator, mutate func(*model.Config)) *sim.Result {
+	b.Helper()
+	cfg := model.DefaultConfig().Scale(0.05)
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	var res *sim.Result
+	for i := 0; i < b.N; i++ {
+		opts := sim.Options{
+			Config:   cfg,
+			Strategy: strategy,
+			Workload: workload.Constant(0.8),
+			Duration: 1200,
+			Seed:     13,
+			Autonomy: sim.FullAutonomy(),
+		}
+		eng, err := sim.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res = eng.Run()
+	}
+	return res
+}
+
+// BenchmarkAblationOmegaAdaptive vs the fixed-ω variants isolates the
+// Equation 6 contribution: the adaptive balance is what protects providers.
+func BenchmarkAblationOmegaAdaptive(b *testing.B) {
+	res := ablationRun(b, allocator.NewSQLB(), nil)
+	b.ReportMetric(100*res.ProviderDepartureRate(), "prov-departures-pct")
+	b.ReportMetric(res.MeanResponseTime, "resp-s")
+}
+
+func BenchmarkAblationOmegaFixed0(b *testing.B) {
+	res := ablationRun(b, allocator.NewSQLBFixedOmega(0), nil)
+	b.ReportMetric(100*res.ProviderDepartureRate(), "prov-departures-pct")
+	b.ReportMetric(res.MeanResponseTime, "resp-s")
+}
+
+func BenchmarkAblationOmegaFixed05(b *testing.B) {
+	res := ablationRun(b, allocator.NewSQLBFixedOmega(0.5), nil)
+	b.ReportMetric(100*res.ProviderDepartureRate(), "prov-departures-pct")
+}
+
+func BenchmarkAblationOmegaFixed1(b *testing.B) {
+	res := ablationRun(b, allocator.NewSQLBFixedOmega(1), nil)
+	b.ReportMetric(100*res.ProviderDepartureRate(), "prov-departures-pct")
+}
+
+// BenchmarkAblationUpsilon* trades consumer preferences for provider
+// reputation (Definition 7).
+func BenchmarkAblationUpsilonPreferencesOnly(b *testing.B) {
+	res := ablationRun(b, allocator.NewSQLB(), func(c *model.Config) { c.Upsilon = 1 })
+	b.ReportMetric(res.Final.ConsAllocSat.Mean, "consumer-allocsat")
+}
+
+func BenchmarkAblationUpsilonBalanced(b *testing.B) {
+	res := ablationRun(b, allocator.NewSQLB(), func(c *model.Config) { c.Upsilon = 0.5 })
+	b.ReportMetric(res.Final.ConsAllocSat.Mean, "consumer-allocsat")
+}
+
+func BenchmarkAblationUpsilonReputationOnly(b *testing.B) {
+	res := ablationRun(b, allocator.NewSQLB(), func(c *model.Config) { c.Upsilon = 0 })
+	b.ReportMetric(res.Final.ConsAllocSat.Mean, "consumer-allocsat")
+}
+
+// BenchmarkAblationWindowK* varies the provider satisfaction window.
+func BenchmarkAblationWindowKSmall(b *testing.B) {
+	res := ablationRun(b, allocator.NewSQLB(), func(c *model.Config) { c.ProviderK = 10 })
+	b.ReportMetric(res.Final.ProvSatPreference.Mean, "prov-sat-pref")
+}
+
+func BenchmarkAblationWindowKLarge(b *testing.B) {
+	res := ablationRun(b, allocator.NewSQLB(), func(c *model.Config) { c.ProviderK = 200 })
+	b.ReportMetric(res.Final.ProvSatPreference.Mean, "prov-sat-pref")
+}
+
+// BenchmarkAblationEpsilon varies ε of Definitions 7-9.
+func BenchmarkAblationEpsilonSmall(b *testing.B) {
+	res := ablationRun(b, allocator.NewSQLB(), func(c *model.Config) { c.Epsilon = 0.1 })
+	b.ReportMetric(res.MeanResponseTime, "resp-s")
+}
+
+// BenchmarkAblationUtilWindow varies the utilization window W.
+func BenchmarkAblationUtilWindowShort(b *testing.B) {
+	res := ablationRun(b, allocator.NewSQLB(), func(c *model.Config) { c.UtilizationWindow = 15 })
+	b.ReportMetric(res.Final.Utilization.Fairness, "util-fairness")
+}
+
+func BenchmarkAblationUtilWindowLong(b *testing.B) {
+	res := ablationRun(b, allocator.NewSQLB(), func(c *model.Config) { c.UtilizationWindow = 240 })
+	b.ReportMetric(res.Final.Utilization.Fairness, "util-fairness")
+}
+
+// Extension strategies vs SQLB under the same autonomy setting.
+func BenchmarkExtensionKnBest(b *testing.B) {
+	res := ablationRun(b, allocator.NewKnBest(), nil)
+	b.ReportMetric(100*res.ProviderDepartureRate(), "prov-departures-pct")
+	b.ReportMetric(res.MeanResponseTime, "resp-s")
+}
+
+func BenchmarkExtensionSQLBEconomic(b *testing.B) {
+	res := ablationRun(b, allocator.NewSQLBEconomic(), nil)
+	b.ReportMetric(100*res.ProviderDepartureRate(), "prov-departures-pct")
+	b.ReportMetric(res.MeanResponseTime, "resp-s")
+}

@@ -1,0 +1,118 @@
+// Command sqlb-experiments regenerates the tables and figures of the SQLB
+// paper's evaluation (VLDB 2007, Section 6). Each experiment prints an
+// aligned text rendition and, with -out, writes a CSV per chart/table.
+//
+// Usage:
+//
+//	sqlb-experiments [-run id[,id...]] [-scale f] [-duration s] [-sweep s]
+//	                 [-repeats n] [-seed n] [-workloads csv] [-out dir] [-list]
+//
+// The paper's full scale is -scale 1 -duration 10000 -sweep 10000
+// -repeats 10; the defaults reproduce the same shapes at laptop cost.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"sqlb/internal/experiments"
+)
+
+func main() {
+	var (
+		runIDs    = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale     = flag.Float64("scale", 0.25, "population scale relative to the paper's 200/400")
+		duration  = flag.Float64("duration", 2500, "figure-4 ramp horizon (sim-seconds)")
+		sweepDur  = flag.Float64("sweep", 5000, "per-workload run horizon (sim-seconds)")
+		repeats   = flag.Int("repeats", 2, "repetitions per configuration (paper: 10)")
+		seed      = flag.Uint64("seed", 1, "base seed")
+		workloads = flag.String("workloads", "", "comma-separated workload fractions (default 0.2..1.0)")
+		outDir    = flag.String("out", "", "directory for CSV output (omit to skip)")
+		list      = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, s := range experiments.Registry {
+			fmt.Printf("%-12s %s\n", s.ID, s.Title)
+		}
+		for _, s := range experiments.ExtensionRegistry {
+			fmt.Printf("%-12s %s (extension)\n", s.ID, s.Title)
+		}
+		return
+	}
+
+	cfg := experiments.Config{
+		Scale:         *scale,
+		Duration:      *duration,
+		SweepDuration: *sweepDur,
+		Repeats:       *repeats,
+		BaseSeed:      *seed,
+	}
+	if *workloads != "" {
+		for _, part := range strings.Split(*workloads, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil {
+				fatal("bad -workloads value %q: %v", part, err)
+			}
+			cfg.Workloads = append(cfg.Workloads, f)
+		}
+	}
+	lab := experiments.NewLab(cfg)
+
+	ids := make([]string, 0, len(experiments.Registry))
+	if *runIDs == "" {
+		for _, s := range experiments.Registry {
+			ids = append(ids, s.ID)
+		}
+	} else {
+		for _, id := range strings.Split(*runIDs, ",") {
+			ids = append(ids, strings.TrimSpace(id))
+		}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		res, err := lab.RunAny(id)
+		if err != nil {
+			fatal("%s: %v", id, err)
+		}
+		fmt.Printf("===== %s — %s (%.1fs)\n", res.ID, res.Title, time.Since(start).Seconds())
+		for _, c := range res.Charts {
+			fmt.Println(c.Render())
+			writeCSV(*outDir, c.ID, c.CSV())
+		}
+		for _, t := range res.Tables {
+			fmt.Println(t.Render())
+			writeCSV(*outDir, t.ID, t.CSV())
+		}
+		for _, n := range res.Notes {
+			fmt.Printf("note: %s\n", n)
+		}
+		fmt.Println()
+	}
+}
+
+func writeCSV(dir, id, content string) {
+	if dir == "" {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fatal("mkdir %s: %v", dir, err)
+	}
+	path := filepath.Join(dir, id+".csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		fatal("write %s: %v", path, err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sqlb-experiments: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,156 @@
+// Command sqlb-sim runs one simulation of the SQLB mediation system and
+// prints the §4 metric summary, response times, and (under autonomy) the
+// departure accounting.
+//
+// Usage:
+//
+//	sqlb-sim [-method sqlb|capacity|mariposa|random|knbest|sqlb-econ]
+//	         [-workload f] [-ramp] [-duration s] [-scale f] [-seed n]
+//	         [-autonomy off|dissat-starve|full] [-csv file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"sqlb/internal/allocator"
+	"sqlb/internal/model"
+	"sqlb/internal/sim"
+	"sqlb/internal/stats"
+	"sqlb/internal/workload"
+)
+
+func main() {
+	var (
+		method   = flag.String("method", "sqlb", "allocation method: sqlb, capacity, mariposa, random, knbest, sqlb-econ")
+		frac     = flag.Float64("workload", 0.8, "workload as a fraction of total system capacity")
+		ramp     = flag.Bool("ramp", false, "ramp workload 30%→100% over the run (Figure 4 setting)")
+		duration = flag.Float64("duration", 2500, "simulated seconds")
+		scale    = flag.Float64("scale", 0.25, "population scale relative to the paper's 200/400")
+		seed     = flag.Uint64("seed", 42, "run seed")
+		autonomy = flag.String("autonomy", "off", "departures: off, dissat-starve, full")
+		csvPath  = flag.String("csv", "", "write the sampled time series as CSV")
+	)
+	flag.Parse()
+
+	strategy, err := strategyFor(*method, *seed)
+	if err != nil {
+		fatal("%v", err)
+	}
+	var profile workload.Profile = workload.Constant(*frac)
+	if *ramp {
+		profile = workload.Ramp{From: 0.3, To: 1.0, Duration: *duration}
+	}
+	var auto sim.Autonomy
+	switch *autonomy {
+	case "off":
+	case "dissat-starve":
+		auto = sim.DissatStarvationAutonomy()
+	case "full":
+		auto = sim.FullAutonomy()
+	default:
+		fatal("unknown -autonomy %q", *autonomy)
+	}
+
+	opts := sim.Options{
+		Config:         model.DefaultConfig().Scale(*scale),
+		Strategy:       strategy,
+		Workload:       profile,
+		Duration:       *duration,
+		Seed:           *seed,
+		SampleInterval: *duration / 50,
+		Autonomy:       auto,
+	}
+	eng, err := sim.New(opts)
+	if err != nil {
+		fatal("%v", err)
+	}
+	res := eng.Run()
+
+	fmt.Printf("method            %s\n", res.Method)
+	fmt.Printf("duration          %.0f sim-seconds (seed %d)\n", res.Duration, res.Seed)
+	fmt.Printf("population        %d consumers, %d providers\n", res.Consumers, res.Providers)
+	fmt.Printf("queries           issued %d, completed %d, dropped %d\n",
+		res.IssuedQueries, res.CompletedQueries, res.DroppedQueries)
+	fmt.Printf("response time     mean %.2fs, p50 %.2fs, p95 %.2fs, p99 %.2fs, max %.2fs\n",
+		res.MeanResponseTime,
+		res.ResponseHistogram.Quantile(0.5),
+		res.ResponseHistogram.Quantile(0.95),
+		res.ResponseHistogram.Quantile(0.99),
+		res.MaxResponseTime)
+	f := res.Final
+	fmt.Printf("provider δs       intentions µ=%.3f f=%.3f σ=%.3f | preferences µ=%.3f\n",
+		f.ProvSatIntention.Mean, f.ProvSatIntention.Fairness, f.ProvSatIntention.Balance,
+		f.ProvSatPreference.Mean)
+	fmt.Printf("provider δas      preferences µ=%.3f\n", f.ProvAllocSatPreference.Mean)
+	fmt.Printf("consumer δs       µ=%.3f f=%.3f | δas µ=%.3f\n",
+		f.ConsSat.Mean, f.ConsSat.Fairness, f.ConsAllocSat.Mean)
+	fmt.Printf("utilization       µ=%.3f f=%.3f σ=%.3f\n",
+		f.Utilization.Mean, f.Utilization.Fairness, f.Utilization.Balance)
+	fmt.Printf("alive             %d/%d providers, %d/%d consumers\n",
+		f.AliveProviders, res.Providers, f.AliveConsumers, res.Consumers)
+
+	if len(res.ProviderDepartures) > 0 || len(res.ConsumerDepartures) > 0 {
+		reasons := map[model.DepartureReason]int{}
+		for _, d := range res.ProviderDepartures {
+			reasons[d.Reason]++
+		}
+		fmt.Printf("departures        providers %.0f%% (", 100*res.ProviderDepartureRate())
+		parts := []string{}
+		for _, r := range model.DepartureReasons {
+			if reasons[r] > 0 {
+				parts = append(parts, fmt.Sprintf("%s %d", r, reasons[r]))
+			}
+		}
+		fmt.Printf("%s), consumers %.0f%%\n", strings.Join(parts, ", "), 100*res.ConsumerDepartureRate())
+	}
+
+	if *csvPath != "" {
+		chart := stats.Chart{ID: "run", Title: "sampled series", XLabel: "time"}
+		add := func(name string, get func(sim.Sample) float64) {
+			s := stats.Series{Name: name}
+			for _, smp := range res.Samples {
+				s.Add(smp.Time, get(smp))
+			}
+			chart.AddSeries(s)
+		}
+		add("workload", func(s sim.Sample) float64 { return s.WorkloadFraction })
+		add("prov_sat_intent", func(s sim.Sample) float64 { return s.ProvSatIntention.Mean })
+		add("prov_sat_pref", func(s sim.Sample) float64 { return s.ProvSatPreference.Mean })
+		add("prov_allocsat_pref", func(s sim.Sample) float64 { return s.ProvAllocSatPreference.Mean })
+		add("cons_allocsat", func(s sim.Sample) float64 { return s.ConsAllocSat.Mean })
+		add("util_mean", func(s sim.Sample) float64 { return s.Utilization.Mean })
+		add("util_fairness", func(s sim.Sample) float64 { return s.Utilization.Fairness })
+		add("resp_mean", func(s sim.Sample) float64 { return s.ResponseTimeMean })
+		add("alive_providers", func(s sim.Sample) float64 { return float64(s.AliveProviders) })
+		if err := os.WriteFile(*csvPath, []byte(chart.CSV()), 0o644); err != nil {
+			fatal("write %s: %v", *csvPath, err)
+		}
+		fmt.Printf("wrote %s\n", *csvPath)
+	}
+}
+
+func strategyFor(name string, seed uint64) (allocator.Allocator, error) {
+	switch name {
+	case "sqlb":
+		return allocator.NewSQLB(), nil
+	case "capacity":
+		return allocator.NewCapacityBased(), nil
+	case "mariposa":
+		return allocator.NewMariposaLike(), nil
+	case "random":
+		return allocator.NewRandom(seed), nil
+	case "knbest":
+		return allocator.NewKnBest(), nil
+	case "sqlb-econ":
+		return allocator.NewSQLBEconomic(), nil
+	}
+	return nil, fmt.Errorf("unknown method %q", name)
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "sqlb-sim: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,71 @@
+// Autonomy: the paper's Section 6.3.2 experiment at 80% workload. Runs the
+// three allocation methods with fully autonomous participants and prints
+// who left, why, and what it did to response times — a miniature of
+// Table 3 and Figures 5-6.
+//
+//	go run ./examples/autonomy
+package main
+
+import (
+	"fmt"
+
+	"sqlb"
+)
+
+func main() {
+	fmt.Println("80% workload, full autonomy (dissatisfaction, starvation, overutilization)")
+	fmt.Println()
+	fmt.Printf("%-15s %10s %10s %8s  %s\n", "method", "prov.loss", "cons.loss", "resp(s)", "departure reasons")
+
+	for _, strategy := range []sqlb.Allocator{
+		sqlb.NewSQLB(), sqlb.NewMariposaLike(), sqlb.NewCapacityBased(),
+	} {
+		opts := sqlb.SimOptions{
+			Config:   sqlb.DefaultConfig().Scale(0.25),
+			Strategy: strategy,
+			Workload: sqlb.ConstantWorkload(0.8),
+			Duration: 5000,
+			Seed:     42,
+			Autonomy: sqlb.FullAutonomy(),
+		}
+		simu, err := sqlb.NewSimulation(opts)
+		if err != nil {
+			panic(err)
+		}
+		res := simu.Run()
+
+		reasons := map[sqlb.DepartureReason]int{}
+		byCap := map[sqlb.ClassLevel]int{}
+		for _, d := range res.ProviderDepartures {
+			reasons[d.Reason]++
+			byCap[d.Cap]++
+		}
+		reasonStr := ""
+		for _, r := range []sqlb.DepartureReason{
+			sqlb.ReasonDissatisfaction, sqlb.ReasonStarvation, sqlb.ReasonOverutilization,
+		} {
+			if reasons[r] > 0 {
+				reasonStr += fmt.Sprintf("%s:%d ", r, reasons[r])
+			}
+		}
+		if reasonStr == "" {
+			reasonStr = "none"
+		}
+		fmt.Printf("%-15s %9.0f%% %9.0f%% %8.1f  %s\n",
+			res.Method,
+			100*res.ProviderDepartureRate(),
+			100*res.ConsumerDepartureRate(),
+			res.MeanResponseTime,
+			reasonStr)
+		if len(byCap) > 0 {
+			fmt.Printf("%-15s departures by capacity class: low %d, med %d, high %d\n",
+				"", byCap[sqlb.Low], byCap[sqlb.Medium], byCap[sqlb.High])
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("The paper's headline (Section 6.3.2): SQLB keeps the high-interest,")
+	fmt.Println("high-adaptation, high-capacity providers and loses no consumers, while the")
+	fmt.Println("baselines bleed providers (capacity-based by dissatisfaction, Mariposa-like")
+	fmt.Println("by overutilization) and more than 20% of their consumers.")
+}

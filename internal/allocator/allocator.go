@@ -1,0 +1,60 @@
+// Package allocator defines the query-allocation strategy interface of the
+// mediator and implements the methods compared in the paper's evaluation
+// (Section 6.2): SQLB itself, the Capacity-based baseline (allocate to the
+// least-utilized providers), and the Mariposa-like economic baseline
+// (bid × load broker). It also provides a Random control used in tests and
+// two extensions the paper flags as related/future work: a KnBest-style
+// strategy (ref [17]) and an economic SQLB variant whose bids are computed
+// from intentions (Section 7).
+package allocator
+
+import (
+	"sqlb/internal/model"
+)
+
+// Request carries everything a strategy may consult for one allocation:
+// the query, the matchmade provider set Pq, the expressed intentions, and
+// the mediator-observed (intention-based) satisfactions that Equation 6
+// uses. Strategies that ignore intentions (Capacity-based) simply do not
+// read those fields.
+type Request struct {
+	// Query is the query to allocate.
+	Query *model.Query
+	// Pq is the set of providers able to treat the query.
+	Pq []*model.Provider
+	// CI[i] is the consumer's expressed intention for allocating the query
+	// to Pq[i] (Definition 7, clamped to [-1,1]).
+	CI []float64
+	// PI[i] is Pq[i]'s expressed intention for performing the query
+	// (Definition 8, clamped to [-1,1]).
+	PI []float64
+	// ConsumerSat is the mediator-observed, intention-based δs(q.c).
+	ConsumerSat float64
+	// ProviderSat[i] is the mediator-observed, intention-based δs(Pq[i]).
+	ProviderSat []float64
+	// Now is the current simulation time (drives utilization reads).
+	Now float64
+}
+
+// N returns min(q.n, |Pq|), the number of providers to select.
+func (r *Request) N() int {
+	n := 1
+	if r.Query != nil && r.Query.N > 0 {
+		n = r.Query.N
+	}
+	if n > len(r.Pq) {
+		n = len(r.Pq)
+	}
+	return n
+}
+
+// Allocator is a query-allocation strategy: given a request it returns the
+// indexes (into Pq) of the providers that get the query, best first. An
+// implementation must return min(q.n, |Pq|) distinct indexes whenever Pq is
+// non-empty (queries are treated if at all possible, Section 2).
+type Allocator interface {
+	// Name identifies the method in reports ("SQLB", "Capacity based", …).
+	Name() string
+	// Allocate selects the providers for the request.
+	Allocate(req *Request) []int
+}

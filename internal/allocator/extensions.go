@@ -1,0 +1,108 @@
+package allocator
+
+import (
+	"sort"
+
+	"sqlb/internal/core"
+)
+
+// KnBest is the KnBest-inspired strategy of the authors' companion work
+// (DASFAA 2007, the paper's ref [17], cited as complementary): first keep
+// the k·n best providers by SQLB score, then pick the n least utilized
+// among them. It trades a little intention satisfaction for better load
+// spreading at high workloads.
+type KnBest struct {
+	// KFactor is k: how many candidates per requested provider survive the
+	// intention round (default 3).
+	KFactor int
+	// Epsilon is ε of the underlying Definition 9 scoring.
+	Epsilon float64
+}
+
+// NewKnBest returns the KnBest strategy with k = 3.
+func NewKnBest() *KnBest { return &KnBest{KFactor: 3} }
+
+// Name implements Allocator.
+func (*KnBest) Name() string { return "KnBest" }
+
+// Allocate implements Allocator.
+func (k *KnBest) Allocate(req *Request) []int {
+	factor := k.KFactor
+	if factor < 1 {
+		factor = 3
+	}
+	n := req.N()
+	omegas := make([]float64, len(req.Pq))
+	for i := range omegas {
+		sat := 0.0
+		if i < len(req.ProviderSat) {
+			sat = req.ProviderSat[i]
+		}
+		omegas[i] = core.Omega(req.ConsumerSat, sat)
+	}
+	ranking := core.Rank(req.PI, req.CI, omegas, k.Epsilon)
+	kn := n * factor
+	if kn > len(ranking) {
+		kn = len(ranking)
+	}
+	short := append([]core.Ranked(nil), ranking[:kn]...)
+	sort.SliceStable(short, func(a, b int) bool {
+		ua := req.Pq[short[a].Index].OperationalLoad(req.Now)
+		ub := req.Pq[short[b].Index].OperationalLoad(req.Now)
+		if ua != ub {
+			return ua < ub
+		}
+		return short[a].Index < short[b].Index
+	})
+	out := make([]int, 0, n)
+	for i := 0; i < n && i < len(short); i++ {
+		out = append(out, short[i].Index)
+	}
+	return out
+}
+
+// SQLBEconomic is the economic SQLB variant the paper sketches as future
+// work (Section 7: "one can combine them to obtain an economic version of
+// SQLB, by computing bids w.r.t. intentions"). Providers implicitly bid
+// value v = ω·pi + (1−ω)·ci — an arithmetic (linear-utility) balance of the
+// two intentions instead of Definition 9's geometric one — and the broker
+// takes the highest-value bids. Comparing it against geometric SQLB is one
+// of the design-choice ablations of DESIGN.md.
+type SQLBEconomic struct{}
+
+// NewSQLBEconomic returns the economic SQLB variant.
+func NewSQLBEconomic() *SQLBEconomic { return &SQLBEconomic{} }
+
+// Name implements Allocator.
+func (*SQLBEconomic) Name() string { return "SQLB-econ" }
+
+// Allocate implements Allocator.
+func (*SQLBEconomic) Allocate(req *Request) []int {
+	type cand struct {
+		idx   int
+		value float64
+	}
+	cands := make([]cand, len(req.Pq))
+	for i := range req.Pq {
+		sat := 0.0
+		if i < len(req.ProviderSat) {
+			sat = req.ProviderSat[i]
+		}
+		omega := core.Omega(req.ConsumerSat, sat)
+		pi, ci := 0.0, 0.0
+		if i < len(req.PI) {
+			pi = req.PI[i]
+		}
+		if i < len(req.CI) {
+			ci = req.CI[i]
+		}
+		cands[i] = cand{idx: i, value: omega*pi + (1-omega)*ci}
+	}
+	sort.SliceStable(cands, func(a, b int) bool {
+		if cands[a].value != cands[b].value {
+			return cands[a].value > cands[b].value
+		}
+		return cands[a].idx < cands[b].idx
+	})
+	return take(cands, req.N(), func(c cand) int { return c.idx })
+}

@@ -1,0 +1,300 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6). Each experiment is registered under the paper's
+// artifact ID (fig2 … fig6, table1, table3) and produces charts/tables that
+// cmd/sqlb-experiments renders as text and CSV. Simulation bundles are
+// memoized inside a Lab so that the eight Figure-4 time-series panels share
+// one set of runs, and Figures 5(b), 5(c), 6 and Table 3 share the
+// full-autonomy workload sweep.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"sqlb/internal/allocator"
+	"sqlb/internal/model"
+	"sqlb/internal/sim"
+	"sqlb/internal/stats"
+	"sqlb/internal/workload"
+)
+
+// Config scales the experiment suite. The paper's full scale (200/400
+// participants, 10 000 s, 10 repetitions) is Config{Scale: 1, Duration:
+// 10000, Repeats: 10}; the defaults run the same shapes at laptop cost.
+type Config struct {
+	// Scale multiplies the Table 2 population (see model.Config.Scale).
+	// Default 0.25 (50 consumers, 100 providers).
+	Scale float64
+	// Duration is the horizon of the Figure 4(a)-(h) ramp runs. Default
+	// 2500 s (paper: 10 000 s).
+	Duration float64
+	// SweepDuration is the horizon of the per-workload runs (Figures
+	// 4(i), 5, 6, Table 3). Default 5000 s — long enough for the
+	// departure cascades to play out.
+	SweepDuration float64
+	// Repeats is the number of repetitions averaged (paper: 10).
+	// Default 2.
+	Repeats int
+	// BaseSeed seeds the repetition seeds. Default 1.
+	BaseSeed uint64
+	// SampleInterval is the Figure 4 sampling cadence. Default
+	// Duration/50.
+	SampleInterval float64
+	// Workloads are the swept workload fractions. Default 0.2 … 1.0 in
+	// steps of 0.2.
+	Workloads []float64
+}
+
+// DefaultConfig returns the laptop-scale defaults.
+func DefaultConfig() Config { return Config{}.withDefaults() }
+
+func (c Config) withDefaults() Config {
+	if c.Scale <= 0 {
+		c.Scale = 0.25
+	}
+	if c.Duration <= 0 {
+		c.Duration = 2500
+	}
+	if c.SweepDuration <= 0 {
+		c.SweepDuration = 5000
+	}
+	if c.Repeats <= 0 {
+		c.Repeats = 2
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	if c.SampleInterval <= 0 {
+		c.SampleInterval = c.Duration / 50
+	}
+	if len(c.Workloads) == 0 {
+		c.Workloads = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	return c
+}
+
+// Result is the output of one experiment.
+type Result struct {
+	ID     string
+	Title  string
+	Charts []*stats.Chart
+	Tables []*stats.Table
+	Notes  []string
+}
+
+// Spec describes one registered experiment.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(*Lab) (*Result, error)
+}
+
+// Registry lists every experiment in paper order.
+var Registry = []Spec{
+	{"table1", "Motivating eWine scenario (Table 1)", runTable1},
+	{"fig2", "Provider intention surface at δs = 0.5 (Figure 2)", runFig2},
+	{"fig3", "ω surface over consumer/provider satisfaction (Figure 3)", runFig3},
+	{"fig4a", "Provider satisfaction mean, intention-based (Figure 4a)", figure4("fig4a")},
+	{"fig4b", "Provider satisfaction mean, preference-based (Figure 4b)", figure4("fig4b")},
+	{"fig4c", "Provider allocation-satisfaction mean, preference-based (Figure 4c)", figure4("fig4c")},
+	{"fig4d", "Provider satisfaction fairness (Figure 4d)", figure4("fig4d")},
+	{"fig4e", "Consumer allocation-satisfaction mean (Figure 4e)", figure4("fig4e")},
+	{"fig4f", "Consumer satisfaction fairness (Figure 4f)", figure4("fig4f")},
+	{"fig4g", "Query load mean (Figure 4g)", figure4("fig4g")},
+	{"fig4h", "Query load fairness (Figure 4h)", figure4("fig4h")},
+	{"fig4i", "Response time vs workload, captive (Figure 4i)", runFig4i},
+	{"fig5a", "Response time vs workload, departures by dissatisfaction/starvation (Figure 5a)", runFig5a},
+	{"fig5b", "Response time vs workload, full autonomy (Figure 5b)", runFig5b},
+	{"fig5c", "Provider departures vs workload (Figure 5c)", runFig5c},
+	{"table3", "Provider departure reasons at 80% workload (Table 3)", runTable3},
+	{"fig6", "Consumer departures vs workload (Figure 6)", runFig6},
+}
+
+// Find returns the spec with the given ID.
+func Find(id string) (Spec, bool) {
+	for _, s := range Registry {
+		if s.ID == id {
+			return s, true
+		}
+	}
+	return Spec{}, false
+}
+
+// sweepRun bundles one constant-workload run with its population's class
+// totals (needed by the Table 3 per-class percentages).
+type sweepRun struct {
+	Res    *sim.Result
+	Totals map[sim.ClassDimension][3]int
+}
+
+// Lab owns the memoized simulation bundles for one configuration.
+type Lab struct {
+	cfg Config
+
+	mu    sync.Mutex
+	ramps map[string][]*sim.Result          // method → repeats
+	sweep map[string]map[float64][]sweepRun // kind/method → workload → repeats
+}
+
+// NewLab returns a lab for the configuration (defaults applied).
+func NewLab(cfg Config) *Lab {
+	return &Lab{
+		cfg:   cfg.withDefaults(),
+		ramps: map[string][]*sim.Result{},
+		sweep: map[string]map[float64][]sweepRun{},
+	}
+}
+
+// Config returns the lab's effective configuration.
+func (l *Lab) Config() Config { return l.cfg }
+
+// Run executes one experiment by ID.
+func (l *Lab) Run(id string) (*Result, error) {
+	spec, ok := Find(id)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q", id)
+	}
+	return spec.Run(l)
+}
+
+// RunAll executes every registered experiment in order.
+func (l *Lab) RunAll() ([]*Result, error) {
+	out := make([]*Result, 0, len(Registry))
+	for _, spec := range Registry {
+		r, err := spec.Run(l)
+		if err != nil {
+			return out, fmt.Errorf("experiments: %s: %w", spec.ID, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// methods returns fresh strategy instances in the paper's comparison order.
+func methods() []allocator.Allocator {
+	return []allocator.Allocator{
+		allocator.NewSQLB(),
+		allocator.NewMariposaLike(),
+		allocator.NewCapacityBased(),
+	}
+}
+
+// seedFor derives a deterministic per-run seed.
+func (l *Lab) seedFor(kind string, method string, workloadPct int, repeat int) uint64 {
+	h := l.cfg.BaseSeed
+	for _, s := range []string{kind, method} {
+		for _, ch := range s {
+			h = h*131 + uint64(ch)
+		}
+	}
+	return h*1000003 + uint64(workloadPct)*10007 + uint64(repeat)*101
+}
+
+// rampResults runs (or returns memoized) Figure 4 ramp simulations for one
+// method: workload 30% → 100% over the duration, captive participants.
+func (l *Lab) rampResults(method allocator.Allocator) ([]*sim.Result, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if rs, ok := l.ramps[method.Name()]; ok {
+		return rs, nil
+	}
+	var rs []*sim.Result
+	for rep := 0; rep < l.cfg.Repeats; rep++ {
+		opts := sim.Options{
+			Config:         model.DefaultConfig().Scale(l.cfg.Scale),
+			Strategy:       method,
+			Workload:       workload.Ramp{From: 0.3, To: 1.0, Duration: l.cfg.Duration},
+			Duration:       l.cfg.Duration,
+			Seed:           l.seedFor("ramp", method.Name(), 0, rep),
+			SampleInterval: l.cfg.SampleInterval,
+		}
+		eng, err := sim.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		rs = append(rs, eng.Run())
+	}
+	l.ramps[method.Name()] = rs
+	return rs, nil
+}
+
+// sweepKind selects the autonomy setting of a workload sweep.
+type sweepKind string
+
+const (
+	sweepCaptive      sweepKind = "captive"       // Figure 4(i)
+	sweepDissatStarve sweepKind = "dissat-starve" // Figure 5(a)
+	sweepFullAutonomy sweepKind = "full-autonomy" // Figures 5(b), 5(c), 6, Table 3
+)
+
+func (k sweepKind) autonomy() sim.Autonomy {
+	switch k {
+	case sweepDissatStarve:
+		return sim.DissatStarvationAutonomy()
+	case sweepFullAutonomy:
+		return sim.FullAutonomy()
+	default:
+		return sim.Autonomy{}
+	}
+}
+
+// sweepResults runs (or returns memoized) constant-workload simulations,
+// capturing each run's class totals for the Table 3 breakdowns.
+func (l *Lab) sweepResults(kind sweepKind, method allocator.Allocator, frac float64) ([]sweepRun, error) {
+	key := string(kind) + "/" + method.Name()
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if byW, ok := l.sweep[key]; ok {
+		if rs, ok := byW[frac]; ok {
+			return rs, nil
+		}
+	} else {
+		l.sweep[key] = map[float64][]sweepRun{}
+	}
+	var rs []sweepRun
+	for rep := 0; rep < l.cfg.Repeats; rep++ {
+		opts := sim.Options{
+			Config:   model.DefaultConfig().Scale(l.cfg.Scale),
+			Strategy: method,
+			Workload: workload.Constant(frac),
+			Duration: l.cfg.SweepDuration,
+			Seed:     l.seedFor(string(kind), method.Name(), int(frac*100+0.5), rep),
+			Autonomy: kind.autonomy(),
+		}
+		eng, err := sim.New(opts)
+		if err != nil {
+			return nil, err
+		}
+		totals := map[sim.ClassDimension][3]int{}
+		for _, dim := range sim.ClassDimensions {
+			totals[dim] = sim.ClassTotals(eng.Population(), dim)
+		}
+		rs = append(rs, sweepRun{Res: eng.Run(), Totals: totals})
+	}
+	l.sweep[key][frac] = rs
+	return rs, nil
+}
+
+// sweepChart builds a workload-sweep chart from a per-run metric.
+func (l *Lab) sweepChart(id, title, ylabel string, kind sweepKind, metric func(*sim.Result) float64) (*Result, error) {
+	chart := &stats.Chart{ID: id, Title: title, XLabel: "workload (% of total system capacity)", YLabel: ylabel}
+	for _, m := range methods() {
+		s := stats.Series{Name: m.Name()}
+		fracs := append([]float64(nil), l.cfg.Workloads...)
+		sort.Float64s(fracs)
+		for _, frac := range fracs {
+			rs, err := l.sweepResults(kind, m, frac)
+			if err != nil {
+				return nil, err
+			}
+			sum := 0.0
+			for _, r := range rs {
+				sum += metric(r.Res)
+			}
+			s.Add(frac*100, sum/float64(len(rs)))
+		}
+		chart.AddSeries(s)
+	}
+	return &Result{ID: id, Title: title, Charts: []*stats.Chart{chart}}, nil
+}

@@ -1,0 +1,110 @@
+// Package intention implements the intention calculus of SQLB (VLDB 2007),
+// Section 5: Definition 7 (consumer intention, trading preferences for
+// provider reputation via υ) and Definition 8 (provider intention, trading
+// preferences for utilization via the provider's own satisfaction).
+//
+// Both definitions are piecewise: a positive weighted-geometric branch when
+// the participant wants the interaction and circumstances allow it, and a
+// negative branch whose magnitude grows with how strongly the participant
+// does not want it. With the paper's ε = 1 the negative branch can exceed
+// -1 in magnitude (Figure 2's surface reaches -2.5); participants *express*
+// the clamped value (Section 2 fixes the range to [-1,1]) while the raw
+// value is retained for plotting the Figure 2 surface.
+package intention
+
+import "math"
+
+// DefaultEpsilon is the paper's usual setting of ε ("usually set to 1"),
+// which keeps the negative branches away from 0 when a preference or
+// reputation equals 1.
+const DefaultEpsilon = 1.0
+
+// Consumer computes the raw consumer intention ci_c(q,p) of Definition 7.
+//
+//	pref    prf_c(q,p) ∈ [-1,1]: the consumer's preference for allocating
+//	        q to p.
+//	rep     rep(p) ∈ [-1,1]: the provider's reputation.
+//	upsilon υ ∈ [0,1]: 1 = trust only own preferences, 0 = only reputation.
+//	epsilon ε > 0.
+//
+// Inputs are clamped to their documented domains.
+func Consumer(pref, rep, upsilon, epsilon float64) float64 {
+	pref = clamp(pref, -1, 1)
+	rep = clamp(rep, -1, 1)
+	upsilon = clamp(upsilon, 0, 1)
+	epsilon = positive(epsilon)
+	if pref > 0 && rep > 0 {
+		return pow(pref, upsilon) * pow(rep, 1-upsilon)
+	}
+	return -(pow(1-pref+epsilon, upsilon) * pow(1-rep+epsilon, 1-upsilon))
+}
+
+// Provider computes the raw provider intention pi_p(q) of Definition 8.
+//
+//	pref  prf_p(q) ∈ [-1,1]: the provider's preference for performing q.
+//	util  Ut(p) ≥ 0: the provider's current utilization.
+//	sat   δs(p) ∈ [0,1]: the provider's satisfaction *based on its private
+//	      preferences* (Section 5.2: the balance must rest on preferences,
+//	      which only the provider itself can compute).
+//	epsilon ε > 0.
+//
+// When the provider is satisfied (sat → 1) utilization dominates: it will
+// accept queries it does not love while it has capacity. When dissatisfied
+// (sat → 0) preferences dominate: it chases desired queries regardless of
+// load. Positive intentions only arise when the provider wants the query
+// and is not overutilized, which is what keeps response times good.
+func Provider(pref, util, sat, epsilon float64) float64 {
+	pref = clamp(pref, -1, 1)
+	if util < 0 {
+		util = 0
+	}
+	sat = clamp(sat, 0, 1)
+	epsilon = positive(epsilon)
+	if pref > 0 && util < 1 {
+		return pow(pref, 1-sat) * pow(1-util, sat)
+	}
+	return -(pow(1-pref+epsilon, 1-sat) * pow(util+epsilon, sat))
+}
+
+// ConsumerExpressed is Consumer clamped to the expressed range [-1,1] of
+// Section 2 — the value a consumer actually communicates to the mediator.
+func ConsumerExpressed(pref, rep, upsilon, epsilon float64) float64 {
+	return clamp(Consumer(pref, rep, upsilon, epsilon), -1, 1)
+}
+
+// ProviderExpressed is Provider clamped to the expressed range [-1,1].
+func ProviderExpressed(pref, util, sat, epsilon float64) float64 {
+	return clamp(Provider(pref, util, sat, epsilon), -1, 1)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if math.IsNaN(v) {
+		return lo
+	}
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func positive(eps float64) float64 {
+	if !(eps > 0) {
+		return DefaultEpsilon
+	}
+	return eps
+}
+
+// pow is math.Pow with the fast paths that dominate this workload
+// (exponents 0 and 1 appear whenever υ, δs, or ω sit at their extremes).
+func pow(base, exp float64) float64 {
+	switch exp {
+	case 0:
+		return 1
+	case 1:
+		return base
+	}
+	return math.Pow(base, exp)
+}

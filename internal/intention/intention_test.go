@@ -1,0 +1,214 @@
+package intention
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestConsumerPositiveBranch(t *testing.T) {
+	// υ=1: intention is exactly the preference (the experimental setting).
+	if got := Consumer(0.7, 0.2, 1, 1); !almostEqual(got, 0.7) {
+		t.Errorf("υ=1 intention = %v, want preference 0.7", got)
+	}
+	// υ=0: intention is exactly the reputation.
+	if got := Consumer(0.7, 0.2, 0, 1); !almostEqual(got, 0.2) {
+		t.Errorf("υ=0 intention = %v, want reputation 0.2", got)
+	}
+	// υ=0.5: geometric mean.
+	if got := Consumer(0.9, 0.4, 0.5, 1); !almostEqual(got, math.Sqrt(0.9*0.4)) {
+		t.Errorf("υ=0.5 intention = %v, want √(0.36)", got)
+	}
+}
+
+func TestConsumerNegativeBranch(t *testing.T) {
+	// Preference ≤ 0 forces the negative branch even with good reputation.
+	got := Consumer(-0.5, 0.8, 0.5, 1)
+	want := -math.Sqrt((1 + 0.5 + 1) * (1 - 0.8 + 1))
+	if !almostEqual(got, want) {
+		t.Errorf("negative-branch intention = %v, want %v", got, want)
+	}
+	if got >= 0 {
+		t.Error("disliked provider must yield negative intention")
+	}
+	// Reputation ≤ 0 also forces the negative branch.
+	if Consumer(0.5, -0.1, 0.5, 1) >= 0 {
+		t.Error("bad reputation must yield negative intention")
+	}
+	// Zero preference is "indifference", not desire: negative branch.
+	if Consumer(0, 1, 0.5, 1) >= 0 {
+		t.Error("zero preference must not yield positive intention")
+	}
+}
+
+func TestConsumerEpsilonPreventsZero(t *testing.T) {
+	// With pref = 1 in the negative branch (rep ≤ 0), ε keeps the
+	// magnitude away from 0.
+	got := Consumer(1, -1, 0.5, 1)
+	if got == 0 {
+		t.Error("ε must prevent a zero intention")
+	}
+	want := -math.Sqrt((1 - 1 + 1) * (1 + 1 + 1))
+	if !almostEqual(got, want) {
+		t.Errorf("intention = %v, want %v", got, want)
+	}
+}
+
+func TestConsumerMonotonicInPreference(t *testing.T) {
+	prev := math.Inf(-1)
+	for p := -1.0; p <= 1.0; p += 0.05 {
+		got := Consumer(p, 0.5, 0.7, 1)
+		if got < prev-1e-12 {
+			t.Fatalf("intention not monotone in preference at %v: %v < %v", p, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestProviderPositiveBranch(t *testing.T) {
+	// Dissatisfied provider (δs=0) focuses on preferences.
+	if got := Provider(0.8, 0.5, 0, 1); !almostEqual(got, 0.8) {
+		t.Errorf("δs=0 intention = %v, want preference 0.8", got)
+	}
+	// Fully satisfied provider (δs=1) focuses on utilization.
+	if got := Provider(0.8, 0.3, 1, 1); !almostEqual(got, 0.7) {
+		t.Errorf("δs=1 intention = %v, want 1-Ut = 0.7", got)
+	}
+	// δs=0.5: geometric balance (the Figure 2 setting).
+	if got := Provider(0.64, 0.36, 0.5, 1); !almostEqual(got, math.Sqrt(0.64*0.64)) {
+		t.Errorf("δs=0.5 intention = %v, want √(0.64·0.64)", got)
+	}
+}
+
+func TestProviderNegativeBranch(t *testing.T) {
+	// Overutilized providers never show positive intention, regardless of
+	// preference — this is what protects response times (Section 5.2).
+	if got := Provider(1, 1, 0.5, 1); got >= 0 {
+		t.Errorf("overutilized provider intention = %v, want negative", got)
+	}
+	if got := Provider(1, 2.5, 0.5, 1); got >= 0 {
+		t.Errorf("heavily overutilized intention = %v, want negative", got)
+	}
+	// Unwanted queries yield negative intention even when idle.
+	if got := Provider(-0.3, 0, 0.5, 1); got >= 0 {
+		t.Errorf("unwanted-query intention = %v, want negative", got)
+	}
+	// Exact formula check: pref=-0.5, Ut=1.5, δs=0.5, ε=1:
+	// -( (1+0.5+1)^0.5 · (1.5+1)^0.5 )
+	got := Provider(-0.5, 1.5, 0.5, 1)
+	want := -math.Sqrt(2.5 * 2.5)
+	if !almostEqual(got, want) {
+		t.Errorf("intention = %v, want %v", got, want)
+	}
+}
+
+func TestProviderMoreLoadedLessWilling(t *testing.T) {
+	prev := math.Inf(1)
+	for u := 0.0; u <= 2.0; u += 0.1 {
+		got := Provider(0.9, u, 0.5, 1)
+		if got > prev+1e-12 {
+			t.Fatalf("intention not non-increasing in utilization at %v: %v > %v", u, got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestProviderDissatisfiedChasesPreferences(t *testing.T) {
+	// At equal high load, a dissatisfied provider shows a stronger
+	// intention for a loved query than a satisfied one does.
+	dissat := Provider(0.9, 0.9, 0.1, 1)
+	sat := Provider(0.9, 0.9, 0.9, 1)
+	if dissat <= sat {
+		t.Errorf("dissatisfied %v should exceed satisfied %v for a loved query under load", dissat, sat)
+	}
+}
+
+func TestFigure2SurfaceShape(t *testing.T) {
+	// Figure 2 (δs = 0.5): positive intentions only in the quadrant
+	// pref > 0 ∧ Ut < 1; the surface dips to about -2.5 at the worst corner.
+	worst := Provider(-1, 2, 0.5, 1)
+	if worst > -2.4 || worst < -3.1 {
+		t.Errorf("worst-corner value = %v, want ≈ -√(3·3) = -3 … -2.4 region", worst)
+	}
+	best := Provider(1, 0, 0.5, 1)
+	if !almostEqual(best, 1) {
+		t.Errorf("best-corner value = %v, want 1", best)
+	}
+	for p := -1.0; p <= 1.0; p += 0.25 {
+		for u := 0.0; u <= 2.0; u += 0.25 {
+			v := Provider(p, u, 0.5, 1)
+			if v > 0 && !(p > 0 && u < 1) {
+				t.Fatalf("positive intention outside the allowed quadrant: pref=%v ut=%v v=%v", p, u, v)
+			}
+		}
+	}
+}
+
+func TestExpressedClamped(t *testing.T) {
+	if got := ConsumerExpressed(-1, -1, 0.5, 1); got != -1 {
+		t.Errorf("expressed consumer intention = %v, want clamped -1", got)
+	}
+	if got := ProviderExpressed(-1, 2, 0.5, 1); got != -1 {
+		t.Errorf("expressed provider intention = %v, want clamped -1", got)
+	}
+	if got := ProviderExpressed(0.5, 0.2, 0.5, 1); got < -1 || got > 1 {
+		t.Errorf("expressed intention out of range: %v", got)
+	}
+}
+
+func TestInputClamping(t *testing.T) {
+	// Garbage inputs must not produce NaN.
+	cases := []float64{
+		Consumer(math.NaN(), 0.5, 0.5, 1),
+		Consumer(5, -7, 2, -1),
+		Provider(math.NaN(), math.NaN(), math.NaN(), 0),
+		Provider(3, -2, 9, math.NaN()),
+	}
+	for i, v := range cases {
+		if math.IsNaN(v) {
+			t.Errorf("case %d produced NaN", i)
+		}
+	}
+}
+
+func TestEpsilonDefaultOnInvalid(t *testing.T) {
+	a := Provider(-0.5, 0.5, 0.5, 0) // ε=0 invalid → default 1
+	b := Provider(-0.5, 0.5, 0.5, 1)
+	if !almostEqual(a, b) {
+		t.Errorf("invalid ε should fall back to 1: %v vs %v", a, b)
+	}
+}
+
+func TestConsumerSignProperty(t *testing.T) {
+	f := func(pref, rep, ups float64) bool {
+		p := math.Mod(pref, 1)
+		r := math.Mod(rep, 1)
+		u := math.Abs(math.Mod(ups, 1))
+		got := Consumer(p, r, u, 1)
+		if p > 0 && r > 0 {
+			return got > 0 && got <= 1+1e-9
+		}
+		return got <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProviderSignProperty(t *testing.T) {
+	f := func(pref, util, sat float64) bool {
+		p := math.Mod(pref, 1)
+		u := math.Abs(math.Mod(util, 3))
+		s := math.Abs(math.Mod(sat, 1))
+		got := Provider(p, u, s, 1)
+		if p > 0 && u < 1 {
+			return got > 0 && got <= 1+1e-9
+		}
+		return got <= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

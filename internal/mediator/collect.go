@@ -1,0 +1,147 @@
+package mediator
+
+import (
+	"context"
+	"time"
+
+	"sqlb/internal/intention"
+	"sqlb/internal/model"
+)
+
+// ConsumerClient is a (possibly remote or slow) consumer endpoint the
+// mediator queries for intentions. In an e-marketplace deployment this is a
+// network call; the in-process adapters below evaluate Definition 7.
+type ConsumerClient interface {
+	// Intention returns the consumer's intention for allocating q to p.
+	Intention(ctx context.Context, q *model.Query, p *model.Provider) (float64, error)
+}
+
+// ProviderClient is a provider endpoint queried for its intention to
+// perform a query (Definition 8).
+type ProviderClient interface {
+	Intention(ctx context.Context, q *model.Query) (float64, error)
+}
+
+// Collector implements lines 2-5 of Algorithm 1: fork a request for the
+// consumer's intention towards each provider and, in parallel, a request
+// for each provider's intention towards the query; wait until all answers
+// arrive or the timeout fires. Participants that do not answer in time are
+// recorded with the Default intention (0 = indifference, Section 2).
+type Collector struct {
+	// Timeout bounds the wait (line 5 of Algorithm 1). Zero means 1s.
+	Timeout time.Duration
+	// Default is the intention assumed for non-answers (default 0).
+	Default float64
+}
+
+// Collect gathers the consumer's intention vector CI⃗_q and the providers'
+// intention vector PI⃗_q concurrently. providers must be indexed like pq;
+// the returned slices are indexed alike. Collect never blocks past the
+// timeout and never leaks goroutines (stragglers finish into a buffered
+// channel and exit).
+func (c *Collector) Collect(ctx context.Context, q *model.Query, pq []*model.Provider,
+	consumer ConsumerClient, providers []ProviderClient) (ci, pi []float64) {
+
+	timeout := c.Timeout
+	if timeout <= 0 {
+		timeout = time.Second
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	n := len(pq)
+	ci = make([]float64, n)
+	pi = make([]float64, n)
+	for i := range ci {
+		ci[i] = c.Default
+		pi[i] = c.Default
+	}
+
+	type answer struct {
+		provider bool
+		idx      int
+		v        float64
+		err      error
+	}
+	expected := 0
+	ch := make(chan answer, 2*n)
+	for i := range pq {
+		if consumer != nil {
+			expected++
+			go func(idx int) {
+				v, err := consumer.Intention(ctx, q, pq[idx])
+				ch <- answer{provider: false, idx: idx, v: v, err: err}
+			}(i)
+		}
+		if i < len(providers) && providers[i] != nil {
+			expected++
+			go func(idx int) {
+				v, err := providers[idx].Intention(ctx, q)
+				ch <- answer{provider: true, idx: idx, v: v, err: err}
+			}(i)
+		}
+	}
+
+	for expected > 0 {
+		select {
+		case a := <-ch:
+			expected--
+			if a.err != nil {
+				continue
+			}
+			if a.provider {
+				pi[a.idx] = sanitize(a.v)
+			} else {
+				ci[a.idx] = sanitize(a.v)
+			}
+		case <-ctx.Done():
+			return ci, pi
+		}
+	}
+	return ci, pi
+}
+
+// sanitize guards against NaN and absurd magnitudes from misbehaving
+// clients while preserving the raw Def 7/8 range that scoring needs (raw
+// values legitimately reach about ±3 with ε = 1).
+func sanitize(v float64) float64 {
+	if v != v { // NaN
+		return 0
+	}
+	if v > 10 {
+		return 10
+	}
+	if v < -10 {
+		return -10
+	}
+	return v
+}
+
+// LocalConsumer adapts a model.Consumer to ConsumerClient, evaluating
+// Definition 7 in-process.
+type LocalConsumer struct {
+	C *model.Consumer
+}
+
+// Intention implements ConsumerClient.
+func (l LocalConsumer) Intention(_ context.Context, q *model.Query, p *model.Provider) (float64, error) {
+	return intention.Consumer(l.C.Preference(p, q.Class), p.Reputation, l.C.Upsilon, l.C.Epsilon), nil
+}
+
+// LocalProvider adapts a model.Provider to ProviderClient, evaluating
+// Definition 8 in-process at the given wall-clock anchor.
+type LocalProvider struct {
+	P *model.Provider
+	// Now supplies the simulation time for the utilization read; nil
+	// means "time 0".
+	Now func() float64
+}
+
+// Intention implements ProviderClient.
+func (l LocalProvider) Intention(_ context.Context, q *model.Query) (float64, error) {
+	now := 0.0
+	if l.Now != nil {
+		now = l.Now()
+	}
+	return intention.Provider(l.P.Preference(q.Class), l.P.OperationalLoad(now), l.P.SmoothSat, l.P.Epsilon), nil
+}

@@ -1,0 +1,187 @@
+package mediator
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"sqlb/internal/model"
+	"sqlb/internal/randx"
+)
+
+type stubConsumer struct {
+	value float64
+	delay time.Duration
+	err   error
+}
+
+func (s stubConsumer) Intention(ctx context.Context, _ *model.Query, _ *model.Provider) (float64, error) {
+	if s.delay > 0 {
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	return s.value, s.err
+}
+
+type stubProvider struct {
+	value float64
+	delay time.Duration
+	err   error
+}
+
+func (s stubProvider) Intention(ctx context.Context, _ *model.Query) (float64, error) {
+	if s.delay > 0 {
+		select {
+		case <-time.After(s.delay):
+		case <-ctx.Done():
+			return 0, ctx.Err()
+		}
+	}
+	return s.value, s.err
+}
+
+func collectFixture(t *testing.T, n int) (*model.Population, *model.Query) {
+	t.Helper()
+	cfg := model.DefaultConfig()
+	cfg.Consumers = 1
+	cfg.Providers = n
+	pop := model.NewPopulation(cfg, randx.New(5), 0)
+	q := &model.Query{ID: 1, Consumer: pop.Consumers[0], Class: 0, Units: 130, N: 1}
+	return pop, q
+}
+
+func TestCollectAllAnswer(t *testing.T) {
+	pop, q := collectFixture(t, 4)
+	providers := make([]ProviderClient, 4)
+	for i := range providers {
+		providers[i] = stubProvider{value: 0.25 * float64(i)}
+	}
+	c := &Collector{Timeout: time.Second}
+	ci, pi := c.Collect(context.Background(), q, pop.Providers, stubConsumer{value: 0.7}, providers)
+	for i := range ci {
+		if ci[i] != 0.7 {
+			t.Errorf("ci[%d] = %v, want 0.7", i, ci[i])
+		}
+		if math.Abs(pi[i]-0.25*float64(i)) > 1e-12 {
+			t.Errorf("pi[%d] = %v, want %v", i, pi[i], 0.25*float64(i))
+		}
+	}
+}
+
+func TestCollectTimeoutFallsBackToDefault(t *testing.T) {
+	pop, q := collectFixture(t, 3)
+	providers := []ProviderClient{
+		stubProvider{value: 0.9},
+		stubProvider{value: 0.9, delay: 500 * time.Millisecond}, // too slow
+		stubProvider{value: -0.3},
+	}
+	c := &Collector{Timeout: 30 * time.Millisecond}
+	start := time.Now()
+	ci, pi := c.Collect(context.Background(), q, pop.Providers, stubConsumer{value: 0.5}, providers)
+	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
+		t.Errorf("Collect blocked %v past its timeout", elapsed)
+	}
+	if pi[0] != 0.9 || pi[2] != -0.3 {
+		t.Errorf("fast providers lost: %v", pi)
+	}
+	if pi[1] != 0 {
+		t.Errorf("slow provider should default to 0 (indifference), got %v", pi[1])
+	}
+	_ = ci
+}
+
+func TestCollectErrorsBecomeDefaults(t *testing.T) {
+	pop, q := collectFixture(t, 2)
+	providers := []ProviderClient{
+		stubProvider{err: errors.New("unreachable")},
+		stubProvider{value: 0.4},
+	}
+	c := &Collector{Timeout: time.Second, Default: 0}
+	_, pi := c.Collect(context.Background(), q, pop.Providers, stubConsumer{err: errors.New("boom")}, providers)
+	if pi[0] != 0 {
+		t.Errorf("failed provider should default, got %v", pi[0])
+	}
+	if pi[1] != 0.4 {
+		t.Errorf("healthy provider lost: %v", pi[1])
+	}
+}
+
+func TestCollectNilClients(t *testing.T) {
+	pop, q := collectFixture(t, 2)
+	c := &Collector{Timeout: 50 * time.Millisecond}
+	ci, pi := c.Collect(context.Background(), q, pop.Providers, nil, []ProviderClient{nil, nil})
+	for i := range ci {
+		if ci[i] != 0 || pi[i] != 0 {
+			t.Errorf("nil clients should yield defaults, got ci=%v pi=%v", ci[i], pi[i])
+		}
+	}
+}
+
+func TestCollectCancelledContext(t *testing.T) {
+	pop, q := collectFixture(t, 2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := &Collector{Timeout: time.Second}
+	providers := []ProviderClient{stubProvider{value: 1, delay: time.Hour}, stubProvider{value: 1, delay: time.Hour}}
+	done := make(chan struct{})
+	go func() {
+		c.Collect(ctx, q, pop.Providers, stubConsumer{value: 1, delay: time.Hour}, providers)
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Collect did not honor context cancellation")
+	}
+}
+
+func TestCollectSanitizesGarbage(t *testing.T) {
+	pop, q := collectFixture(t, 1)
+	c := &Collector{Timeout: time.Second}
+	ci, pi := c.Collect(context.Background(), q, pop.Providers,
+		stubConsumer{value: 42}, []ProviderClient{stubProvider{value: math.NaN()}})
+	if ci[0] != 10 {
+		t.Errorf("absurd intention should cap at 10, got %v", ci[0])
+	}
+	if pi[0] != 0 {
+		t.Errorf("NaN intention should become 0, got %v", pi[0])
+	}
+	// Legitimate raw Def 7/8 values below -1 pass through untouched.
+	ci2, _ := c.Collect(context.Background(), q, pop.Providers,
+		stubConsumer{value: -2.5}, []ProviderClient{stubProvider{value: 0.5}})
+	if ci2[0] != -2.5 {
+		t.Errorf("raw negative intention should pass, got %v", ci2[0])
+	}
+}
+
+func TestCollectWithLocalAdapters(t *testing.T) {
+	pop, q := collectFixture(t, 6)
+	providers := make([]ProviderClient, len(pop.Providers))
+	now := func() float64 { return 0 }
+	for i, p := range pop.Providers {
+		providers[i] = LocalProvider{P: p, Now: now}
+	}
+	c := &Collector{Timeout: time.Second}
+	ci, pi := c.Collect(context.Background(), q, pop.Providers, LocalConsumer{C: pop.Consumers[0]}, providers)
+	// The concurrent path must agree with the synchronous fast path.
+	wantCI, wantPI := Intentions(0, q, pop.Providers)
+	for i := range ci {
+		if math.Abs(ci[i]-wantCI[i]) > 1e-12 || math.Abs(pi[i]-wantPI[i]) > 1e-12 {
+			t.Fatalf("concurrent/synchronous mismatch at %d: %v/%v vs %v/%v",
+				i, ci[i], pi[i], wantCI[i], wantPI[i])
+		}
+	}
+}
+
+func TestLocalProviderNilNow(t *testing.T) {
+	pop, q := collectFixture(t, 1)
+	lp := LocalProvider{P: pop.Providers[0]}
+	if _, err := lp.Intention(context.Background(), q); err != nil {
+		t.Fatalf("Intention: %v", err)
+	}
+}

@@ -1,0 +1,186 @@
+// Package mediator implements the mediation layer of Figure 1 and
+// Algorithm 1: matchmaking (finding Pq), obtaining the consumer's and the
+// providers' intentions (synchronously for the simulator, or concurrently
+// with a timeout for live deployments), driving the pluggable allocation
+// strategy, and notifying every provider in Pq of the mediation result so
+// that the satisfaction windows of Section 3 stay current.
+package mediator
+
+import (
+	"errors"
+	"fmt"
+
+	"sqlb/internal/allocator"
+	"sqlb/internal/intention"
+	"sqlb/internal/model"
+)
+
+// ErrNoProviders reports a query for which matchmaking found no provider.
+// The paper only considers feasible queries; the simulator treats this as a
+// system-drained condition rather than a bug.
+var ErrNoProviders = errors.New("mediator: no provider can treat the query")
+
+// Matchmaker finds the set Pq of providers able to treat a query. The
+// paper assumes a sound and complete matchmaking procedure (Section 2,
+// refs [11,14]) and, in the experiments, that every provider can perform
+// every query.
+type Matchmaker interface {
+	Match(q *model.Query, pop *model.Population) []*model.Provider
+}
+
+// AllProviders is the experimental-setup matchmaker: every provider still
+// registered to the mediator can treat every query.
+type AllProviders struct{}
+
+// Match implements Matchmaker.
+func (AllProviders) Match(_ *model.Query, pop *model.Population) []*model.Provider {
+	return pop.AliveProviders()
+}
+
+// CapabilityMatcher matches on a per-provider capability predicate; used by
+// examples where providers serve only some query classes.
+type CapabilityMatcher struct {
+	// Capable reports whether the provider can treat queries of the class.
+	Capable func(p *model.Provider, queryClass int) bool
+}
+
+// Match implements Matchmaker.
+func (m CapabilityMatcher) Match(q *model.Query, pop *model.Population) []*model.Provider {
+	out := make([]*model.Provider, 0, len(pop.Providers))
+	for _, p := range pop.Providers {
+		if p.Alive && (m.Capable == nil || m.Capable(p, q.Class)) {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// Allocation is the outcome of mediating one query.
+type Allocation struct {
+	// Query is the mediated query.
+	Query *model.Query
+	// Pq is the matchmade provider set.
+	Pq []*model.Provider
+	// CI and PI are the expressed intentions, indexed like Pq.
+	CI []float64
+	PI []float64
+	// Selected are the indexes into Pq that got the query, best first
+	// (All⃗oc[p] = 1 for these, 0 for the rest).
+	Selected []int
+}
+
+// SelectedProviders returns the providers that got the query, best first.
+func (a *Allocation) SelectedProviders() []*model.Provider {
+	out := make([]*model.Provider, len(a.Selected))
+	for i, idx := range a.Selected {
+		out[i] = a.Pq[idx]
+	}
+	return out
+}
+
+// Mediator wires a matchmaker and an allocation strategy.
+type Mediator struct {
+	// Strategy is the query-allocation method under test.
+	Strategy allocator.Allocator
+	// Match is the matchmaking procedure; nil means AllProviders.
+	Match Matchmaker
+}
+
+// New returns a mediator using the given strategy and the all-providers
+// matchmaker.
+func New(strategy allocator.Allocator) *Mediator {
+	return &Mediator{Strategy: strategy, Match: AllProviders{}}
+}
+
+// Allocate mediates one query at the given time: matchmaking, intention
+// gathering (lines 2-5 of Algorithm 1, computed synchronously here — see
+// Collector for the concurrent fork/join variant), allocation (lines 6-10),
+// and result notification (recording into every participant's satisfaction
+// windows). The strategy sees only public information: expressed intentions
+// and intention-based satisfactions.
+func (m *Mediator) Allocate(now float64, q *model.Query, pop *model.Population) (*Allocation, error) {
+	match := m.Match
+	if match == nil {
+		match = AllProviders{}
+	}
+	pq := match.Match(q, pop)
+	if len(pq) == 0 {
+		return nil, fmt.Errorf("%w (query %d)", ErrNoProviders, q.ID)
+	}
+	ci, pi := Intentions(now, q, pq)
+	return m.AllocateCollected(now, q, pq, ci, pi)
+}
+
+// AllocateCollected performs the allocation commit of Algorithm 1 (lines
+// 6-10) once the intention vectors have been gathered — by Intentions for
+// the in-process fast path or by a Collector for the concurrent/live path
+// (see Server). It scores, ranks, selects, and notifies every provider in
+// Pq of the mediation result.
+func (m *Mediator) AllocateCollected(now float64, q *model.Query, pq []*model.Provider, ci, pi []float64) (*Allocation, error) {
+	if m.Strategy == nil {
+		return nil, errors.New("mediator: no allocation strategy configured")
+	}
+	if len(pq) == 0 {
+		return nil, fmt.Errorf("%w (query %d)", ErrNoProviders, q.ID)
+	}
+	if len(ci) != len(pq) || len(pi) != len(pq) {
+		return nil, fmt.Errorf("mediator: intention vectors sized %d/%d for %d providers", len(ci), len(pi), len(pq))
+	}
+	provSat := make([]float64, len(pq))
+	for i, p := range pq {
+		provSat[i] = p.Public.Satisfaction()
+	}
+	req := &allocator.Request{
+		Query:       q,
+		Pq:          pq,
+		CI:          ci,
+		PI:          pi,
+		ConsumerSat: q.Consumer.Tracker.Satisfaction(),
+		ProviderSat: provSat,
+		Now:         now,
+	}
+	selected := m.Strategy.Allocate(req)
+
+	record(q, pq, ci, pi, selected)
+	return &Allocation{Query: q, Pq: pq, CI: ci, PI: pi, Selected: selected}, nil
+}
+
+// Intentions computes the consumer and provider intentions for a query
+// over Pq, per Definitions 7 and 8. This is the synchronous fast path used
+// by the simulator; the formulas are evaluated in-process because every
+// participant is local.
+//
+// The vectors carry the *raw* definition values, which extend below -1
+// (Figure 2's surface reaches -2.5). Definition 9's negative branch needs
+// that depth: an overutilized provider the consumer loves must eventually
+// rank below a willing provider the consumer is lukewarm about, or load
+// would keep piling onto favorites until they flee by overutilization.
+// The satisfaction windows clamp to [-1,1] at record time (Section 2's
+// expressed range), so the δ characteristics stay in [0,1].
+func Intentions(now float64, q *model.Query, pq []*model.Provider) (ci, pi []float64) {
+	ci = make([]float64, len(pq))
+	pi = make([]float64, len(pq))
+	c := q.Consumer
+	for i, p := range pq {
+		ci[i] = intention.Consumer(c.Preference(p, q.Class), p.Reputation, c.Upsilon, c.Epsilon)
+		pi[i] = intention.Provider(p.Preference(q.Class), p.OperationalLoad(now), p.SmoothSat, p.Epsilon)
+	}
+	return ci, pi
+}
+
+// record performs the mediation-result notification: the consumer logs the
+// allocation against its shown intentions (Equations 1-2) and every
+// provider in Pq — selected or not — logs the proposal in both its public
+// (intention-fed) and private (preference-fed) windows.
+func record(q *model.Query, pq []*model.Provider, ci, pi []float64, selected []int) {
+	q.Consumer.Tracker.RecordAllocation(ci, selected, q.N)
+	isSelected := make(map[int]bool, len(selected))
+	for _, idx := range selected {
+		isSelected[idx] = true
+	}
+	for i, p := range pq {
+		performed := isSelected[i]
+		p.Public.Record(pi[i], performed)
+		p.Private.Record(p.Preference(q.Class), performed)
+	}
+}

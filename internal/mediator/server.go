@@ -1,0 +1,101 @@
+package mediator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"sqlb/internal/allocator"
+	"sqlb/internal/model"
+)
+
+// Server runs a mediator as a long-lived concurrent service — the live
+// counterpart of Figure 1: consumers submit queries from any goroutine;
+// for each query the server fans out the intention requests concurrently
+// with a timeout (Algorithm 1 lines 2-5, via Collector) and then commits
+// the scoring, ranking, allocation, and result notification atomically.
+// Mediations are serialized at the commit — the paper's system has one
+// mediator, and the satisfaction windows are its bookkeeping — while the
+// per-query fan-out still overlaps slow participants within a mediation.
+type Server struct {
+	med       *Mediator
+	pop       *model.Population
+	collector *Collector
+	now       func() float64
+
+	mu     sync.Mutex
+	closed bool
+}
+
+// ErrServerClosed reports a Submit after Close.
+var ErrServerClosed = errors.New("mediator: server closed")
+
+// NewServer returns a server mediating over the population with the given
+// strategy. timeout bounds each query's intention collection; now supplies
+// the mediation clock (nil means wall-clock seconds since start).
+func NewServer(strategy allocator.Allocator, pop *model.Population, timeout time.Duration, now func() float64) *Server {
+	if now == nil {
+		start := time.Now()
+		now = func() float64 { return time.Since(start).Seconds() }
+	}
+	return &Server{
+		med:       New(strategy),
+		pop:       pop,
+		collector: &Collector{Timeout: timeout},
+		now:       now,
+	}
+}
+
+// SetMatchmaker replaces the matchmaking procedure (default AllProviders).
+func (s *Server) SetMatchmaker(m Matchmaker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.med.Match = m
+}
+
+// Mediate allocates one query: concurrent intention collection, then an
+// atomic allocation commit. Safe for concurrent use.
+func (s *Server) Mediate(ctx context.Context, q *model.Query) (*Allocation, error) {
+	if q == nil || q.Consumer == nil {
+		return nil, errors.New("mediator: query needs a consumer")
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, ErrServerClosed
+	}
+
+	match := s.med.Match
+	if match == nil {
+		match = AllProviders{}
+	}
+	pq := match.Match(q, s.pop)
+	if len(pq) == 0 {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("%w (query %d)", ErrNoProviders, q.ID)
+	}
+	t := s.now()
+
+	// Fan out the intention requests while holding the mediation turn:
+	// participants answer concurrently (each provider is touched by
+	// exactly one goroutine), and the commit below sees a consistent
+	// population.
+	providers := make([]ProviderClient, len(pq))
+	for i, p := range pq {
+		providers[i] = LocalProvider{P: p, Now: func() float64 { return t }}
+	}
+	ci, pi := s.collector.Collect(ctx, q, pq, LocalConsumer{C: q.Consumer}, providers)
+
+	alloc, err := s.med.AllocateCollected(t, q, pq, ci, pi)
+	s.mu.Unlock()
+	return alloc, err
+}
+
+// Close marks the server closed; subsequent Submits fail fast.
+func (s *Server) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
+}

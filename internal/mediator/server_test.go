@@ -1,0 +1,139 @@
+package mediator
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"sqlb/internal/allocator"
+	"sqlb/internal/model"
+)
+
+func TestServerMediateBasics(t *testing.T) {
+	pop := newPop(t, 2, 6)
+	srv := NewServer(allocator.NewSQLB(), pop, 100*time.Millisecond, func() float64 { return 1 })
+	alloc, err := srv.Mediate(context.Background(), newQuery(pop, 1, 2))
+	if err != nil {
+		t.Fatalf("Mediate: %v", err)
+	}
+	if len(alloc.Selected) != 2 {
+		t.Fatalf("selected %d providers, want 2", len(alloc.Selected))
+	}
+	// Bookkeeping happened: every provider saw the proposal.
+	for _, p := range pop.Providers {
+		if p.Public.Proposed() != 1 {
+			t.Errorf("provider %d proposals = %d, want 1", p.ID, p.Public.Proposed())
+		}
+	}
+}
+
+func TestServerConcurrentSubmissions(t *testing.T) {
+	pop := newPop(t, 4, 12)
+	srv := NewServer(allocator.NewSQLB(), pop, 200*time.Millisecond, nil)
+	const queries = 64
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	var selected atomic.Int64
+	for i := 0; i < queries; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			q := newQuery(pop, uint64(i+1), 1)
+			q.Consumer = pop.Consumers[i%len(pop.Consumers)]
+			alloc, err := srv.Mediate(context.Background(), q)
+			if err != nil {
+				failures.Add(1)
+				return
+			}
+			selected.Add(int64(len(alloc.Selected)))
+		}(i)
+	}
+	wg.Wait()
+	if failures.Load() != 0 {
+		t.Fatalf("%d mediations failed", failures.Load())
+	}
+	if selected.Load() != queries {
+		t.Fatalf("selected %d providers total, want %d", selected.Load(), queries)
+	}
+	// Every provider saw every query (notification of mediation results).
+	for _, p := range pop.Providers {
+		if got := p.Public.Proposed(); got != queries {
+			t.Errorf("provider %d proposals = %d, want %d", p.ID, got, queries)
+		}
+	}
+	// Consumers logged their own queries.
+	total := 0
+	for _, c := range pop.Consumers {
+		total += c.Tracker.Queries()
+	}
+	if total != queries {
+		t.Errorf("consumer-side query records = %d, want %d", total, queries)
+	}
+}
+
+func TestServerClose(t *testing.T) {
+	pop := newPop(t, 1, 3)
+	srv := NewServer(allocator.NewSQLB(), pop, 50*time.Millisecond, nil)
+	srv.Close()
+	if _, err := srv.Mediate(context.Background(), newQuery(pop, 1, 1)); err != ErrServerClosed {
+		t.Fatalf("err = %v, want ErrServerClosed", err)
+	}
+}
+
+func TestServerRejectsBadQueries(t *testing.T) {
+	pop := newPop(t, 1, 3)
+	srv := NewServer(allocator.NewSQLB(), pop, 50*time.Millisecond, nil)
+	if _, err := srv.Mediate(context.Background(), nil); err == nil {
+		t.Fatal("nil query accepted")
+	}
+	q := newQuery(pop, 1, 1)
+	q.Consumer = nil
+	if _, err := srv.Mediate(context.Background(), q); err == nil {
+		t.Fatal("consumer-less query accepted")
+	}
+}
+
+func TestServerNoProviders(t *testing.T) {
+	pop := newPop(t, 1, 2)
+	for _, p := range pop.Providers {
+		p.Alive = false
+	}
+	srv := NewServer(allocator.NewSQLB(), pop, 50*time.Millisecond, nil)
+	if _, err := srv.Mediate(context.Background(), newQuery(pop, 1, 1)); err == nil {
+		t.Fatal("expected ErrNoProviders")
+	}
+}
+
+func TestServerCustomMatchmaker(t *testing.T) {
+	pop := newPop(t, 1, 6)
+	srv := NewServer(allocator.NewSQLB(), pop, 50*time.Millisecond, nil)
+	srv.SetMatchmaker(CapabilityMatcher{Capable: func(p *model.Provider, class int) bool {
+		return p.ID < 2
+	}})
+	alloc, err := srv.Mediate(context.Background(), newQuery(pop, 1, 5))
+	if err != nil {
+		t.Fatalf("Mediate: %v", err)
+	}
+	if len(alloc.Pq) != 2 {
+		t.Errorf("Pq = %d, want 2 capable providers", len(alloc.Pq))
+	}
+}
+
+func TestAllocateCollectedValidation(t *testing.T) {
+	pop := newPop(t, 1, 3)
+	med := New(allocator.NewSQLB())
+	q := newQuery(pop, 1, 1)
+	if _, err := med.AllocateCollected(0, q, pop.Providers, []float64{1}, []float64{1, 1, 1}); err == nil {
+		t.Fatal("mismatched vectors accepted")
+	}
+	if _, err := med.AllocateCollected(0, q, nil, nil, nil); err == nil {
+		t.Fatal("empty Pq accepted")
+	}
+	bare := &Mediator{}
+	ci := []float64{0, 0, 0}
+	if _, err := bare.AllocateCollected(0, q, pop.Providers, ci, ci); err == nil {
+		t.Fatal("strategy-less mediator accepted")
+	}
+}

@@ -1,0 +1,130 @@
+// Package metrics implements the three system metrics of SQLB (VLDB 2007),
+// Section 4: the arithmetic mean µ (efficiency), the Jain fairness index f
+// (sensitivity), and the min–max ratio σ (balance).
+//
+// The metrics are defined over an arbitrary set S of g-values, where g is
+// one of the participant characteristics (adequation δa, satisfaction δs,
+// allocation satisfaction δas) or the utilization Ut. They are intentionally
+// plain functions over []float64 so that any caller — the simulator, the
+// experiment harness, or user code — can apply them to any value set.
+package metrics
+
+// Mean returns the arithmetic mean µ(g,S) of the values (Equation 3).
+// It reflects the effort a query-allocation method makes to maximize (or
+// minimize) a set of values. The mean of an empty set is 0.
+func Mean(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range values {
+		sum += v
+	}
+	return sum / float64(len(values))
+}
+
+// Fairness returns the Jain fairness index f(g,S) of the values
+// (Equation 4, from Jain, Chiu, Hawe, DEC-TR-301):
+//
+//	f = (Σ g)² / (|S| · Σ g²)
+//
+// Its value is in [0,1]; 1 means all values are equal (perfectly fair),
+// and values near 1/|S| mean one participant holds everything. The index
+// is scale-invariant: f(a·g) = f(g) for a > 0. The fairness of an empty
+// set, or of an all-zero set, is defined here as 1 (nothing is unfair
+// about nothing).
+func Fairness(values []float64) float64 {
+	if len(values) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, v := range values {
+		sum += v
+		sumSq += v * v
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return (sum * sum) / (float64(len(values)) * sumSq)
+}
+
+// DefaultBalanceConstant is the pre-fixed constant c0 > 0 of Equation 5.
+// The paper only requires c0 > 0; 1 keeps σ well-conditioned for value
+// sets that live in [0,1].
+const DefaultBalanceConstant = 1.0
+
+// Balance returns the min–max ratio σ(g,S) (Equation 5):
+//
+//	σ = (min g + c0) / (max g + c0)
+//
+// with c0 = DefaultBalanceConstant. Values are in [0,1] for non-negative
+// inputs; the greater the value, the better balanced the set. σ of an
+// empty set is 1.
+func Balance(values []float64) float64 {
+	return BalanceC(values, DefaultBalanceConstant)
+}
+
+// BalanceC is Balance with an explicit constant c0 > 0.
+func BalanceC(values []float64, c0 float64) float64 {
+	if len(values) == 0 {
+		return 1
+	}
+	min, max := values[0], values[0]
+	for _, v := range values[1:] {
+		if v < min {
+			min = v
+		}
+		if v > max {
+			max = v
+		}
+	}
+	return (min + c0) / (max + c0)
+}
+
+// Summary bundles the three §4 metrics for one value set. The paper states
+// the metrics are complementary: using only one loses information, so the
+// harness always reports all three together.
+type Summary struct {
+	Mean     float64
+	Fairness float64
+	Balance  float64
+	N        int
+}
+
+// Summarize computes all three metrics over the values.
+func Summarize(values []float64) Summary {
+	return Summary{
+		Mean:     Mean(values),
+		Fairness: Fairness(values),
+		Balance:  Balance(values),
+		N:        len(values),
+	}
+}
+
+// Min returns the minimum of the values, or 0 for an empty set.
+func Min(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	m := values[0]
+	for _, v := range values[1:] {
+		if v < m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Max returns the maximum of the values, or 0 for an empty set.
+func Max(values []float64) float64 {
+	if len(values) == 0 {
+		return 0
+	}
+	m := values[0]
+	for _, v := range values[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,204 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestMean(t *testing.T) {
+	tests := []struct {
+		name   string
+		values []float64
+		want   float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{0.7}, 0.7},
+		{"uniform", []float64{0.5, 0.5, 0.5}, 0.5},
+		{"mixed", []float64{0, 1}, 0.5},
+		{"negatives", []float64{-1, 1}, 0},
+		{"paper example m", []float64{0.2, 1, 0.6}, 0.6},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Mean(tt.values); !almostEqual(got, tt.want) {
+				t.Errorf("Mean(%v) = %v, want %v", tt.values, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestFairnessPaperExample(t *testing.T) {
+	// Section 4 example: mediator m with δs = {0.2, 1, 0.6} has fairness
+	// ≈ 0.77 and m' with {1, 0.7, 0.9} has ≈ 0.97.
+	m := Fairness([]float64{0.2, 1, 0.6})
+	if math.Abs(m-0.7714) > 0.001 {
+		t.Errorf("fairness(m) = %v, want ≈0.771", m)
+	}
+	// Exact value is 2.6²/(3·2.3) = 0.97971…; the paper reports it
+	// rounded to 0.97.
+	mp := Fairness([]float64{1, 0.7, 0.9})
+	if math.Abs(mp-0.9797) > 0.001 {
+		t.Errorf("fairness(m') = %v, want ≈0.9797", mp)
+	}
+	if mp <= m {
+		t.Errorf("m' should be fairer than m: %v <= %v", mp, m)
+	}
+}
+
+func TestFairnessEdgeCases(t *testing.T) {
+	if got := Fairness(nil); got != 1 {
+		t.Errorf("Fairness(nil) = %v, want 1", got)
+	}
+	if got := Fairness([]float64{0, 0, 0}); got != 1 {
+		t.Errorf("Fairness(zeros) = %v, want 1", got)
+	}
+	if got := Fairness([]float64{3}); !almostEqual(got, 1) {
+		t.Errorf("Fairness(single) = %v, want 1", got)
+	}
+	// One participant holds everything: f → 1/n.
+	got := Fairness([]float64{1, 0, 0, 0})
+	if !almostEqual(got, 0.25) {
+		t.Errorf("Fairness(concentrated) = %v, want 0.25", got)
+	}
+}
+
+func TestBalance(t *testing.T) {
+	tests := []struct {
+		name   string
+		values []float64
+		c0     float64
+		want   float64
+	}{
+		{"empty", nil, 1, 1},
+		{"equal", []float64{0.4, 0.4}, 1, 1},
+		{"spread", []float64{0, 1}, 1, 0.5},
+		{"c0 influence", []float64{0, 1}, 0.5, 1.0 / 3.0},
+		{"single", []float64{0.9}, 1, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := BalanceC(tt.values, tt.c0); !almostEqual(got, tt.want) {
+				t.Errorf("BalanceC(%v, %v) = %v, want %v", tt.values, tt.c0, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	vs := []float64{0.3, -1, 2, 0}
+	if got := Min(vs); got != -1 {
+		t.Errorf("Min = %v, want -1", got)
+	}
+	if got := Max(vs); got != 2 {
+		t.Errorf("Max = %v, want 2", got)
+	}
+	if Min(nil) != 0 || Max(nil) != 0 {
+		t.Error("Min/Max of empty set should be 0")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{0.5, 0.5})
+	if s.N != 2 || !almostEqual(s.Mean, 0.5) || !almostEqual(s.Fairness, 1) || !almostEqual(s.Balance, 1) {
+		t.Errorf("unexpected summary: %+v", s)
+	}
+}
+
+// clampSet maps raw quick-generated floats into a bounded positive range so
+// the property statements below are well-defined.
+func clampSet(raw []float64) []float64 {
+	out := make([]float64, 0, len(raw))
+	for _, v := range raw {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		out = append(out, math.Mod(math.Abs(v), 1000))
+	}
+	return out
+}
+
+func TestFairnessBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vs := clampSet(raw)
+		got := Fairness(vs)
+		return got >= 0 && got <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFairnessScaleInvarianceProperty(t *testing.T) {
+	f := func(raw []float64, scale float64) bool {
+		vs := clampSet(raw)
+		s := math.Mod(math.Abs(scale), 100) + 0.001
+		scaled := make([]float64, len(vs))
+		for i, v := range vs {
+			scaled[i] = v * s
+		}
+		return math.Abs(Fairness(vs)-Fairness(scaled)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFairnessConstantSetProperty(t *testing.T) {
+	f := func(v float64, n uint8) bool {
+		val := math.Mod(math.Abs(v), 10) + 0.1
+		set := make([]float64, int(n%32)+1)
+		for i := range set {
+			set[i] = val
+		}
+		return math.Abs(Fairness(set)-1) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBalanceBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vs := clampSet(raw)
+		got := Balance(vs)
+		return got > 0 && got <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanBoundedByMinMaxProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vs := clampSet(raw)
+		if len(vs) == 0 {
+			return true
+		}
+		m := Mean(vs)
+		return m >= Min(vs)-1e-9 && m <= Max(vs)+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMeanLinearityProperty(t *testing.T) {
+	f := func(raw []float64, a float64) bool {
+		vs := clampSet(raw)
+		if len(vs) == 0 {
+			return true
+		}
+		s := math.Mod(a, 50)
+		shifted := make([]float64, len(vs))
+		for i, v := range vs {
+			shifted[i] = v + s
+		}
+		return math.Abs(Mean(shifted)-(Mean(vs)+s)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,92 @@
+// Package model defines the data model of the SQLB mediation system
+// (Section 2 of the paper): queries q = ⟨c, d, n⟩, autonomous consumers and
+// providers with private preferences, provider capacity and utilization,
+// and the population builder that realizes the experimental setup of
+// Table 2 (participant classes, preference bands, capacity heterogeneity).
+package model
+
+import "fmt"
+
+// ClassLevel is the low/medium/high classification the paper uses for three
+// independent provider dimensions: the consumers' interest in the provider,
+// the provider's adaptation to incoming queries, and its capacity.
+type ClassLevel int
+
+// Class levels, ordered.
+const (
+	Low ClassLevel = iota
+	Medium
+	High
+)
+
+// String returns the paper's class label.
+func (c ClassLevel) String() string {
+	switch c {
+	case Low:
+		return "low"
+	case Medium:
+		return "med"
+	case High:
+		return "high"
+	}
+	return fmt.Sprintf("ClassLevel(%d)", int(c))
+}
+
+// ClassLevels lists the three levels in display order.
+var ClassLevels = []ClassLevel{Low, Medium, High}
+
+// QueryClass describes one class of queries: the treatment units it
+// consumes (absolute work; a provider of capacity cap units/s serves it in
+// Units/cap seconds).
+type QueryClass struct {
+	// Units is the work the query consumes, in treatment units.
+	Units float64
+}
+
+// Query is the q = ⟨c, d, n⟩ triple of Section 2. The task description d is
+// abstracted to the query class index (the matchmaker works on it); N is
+// q.n, the number of providers the consumer wishes to allocate the query to.
+type Query struct {
+	// ID identifies the query within a run.
+	ID uint64
+	// Consumer is q.c, the issuing consumer.
+	Consumer *Consumer
+	// Class indexes the workload's query classes (the abstraction of q.d).
+	Class int
+	// Units is the work this query consumes at a provider.
+	Units float64
+	// N is q.n ∈ N*, the desired number of providers.
+	N int
+	// IssuedAt is the simulation time at which the consumer issued q.
+	IssuedAt float64
+}
+
+// DepartureReason enumerates why an autonomous participant left the system
+// (Section 6.3.2).
+type DepartureReason int
+
+// Departure reasons. ReasonNone marks a participant still in the system.
+const (
+	ReasonNone DepartureReason = iota
+	ReasonDissatisfaction
+	ReasonStarvation
+	ReasonOverutilization
+)
+
+// String returns the reason label used in Table 3.
+func (r DepartureReason) String() string {
+	switch r {
+	case ReasonNone:
+		return "none"
+	case ReasonDissatisfaction:
+		return "dissatisfaction"
+	case ReasonStarvation:
+		return "starvation"
+	case ReasonOverutilization:
+		return "overutilization"
+	}
+	return fmt.Sprintf("DepartureReason(%d)", int(r))
+}
+
+// DepartureReasons lists the three actual reasons in Table 3 order.
+var DepartureReasons = []DepartureReason{ReasonDissatisfaction, ReasonStarvation, ReasonOverutilization}

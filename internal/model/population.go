@@ -1,0 +1,170 @@
+package model
+
+import (
+	"sqlb/internal/randx"
+	"sqlb/internal/satisfaction"
+)
+
+// Population is the set of consumers and providers registered to the
+// mediator, built per the Section 6.1 setup.
+type Population struct {
+	Consumers []*Consumer
+	Providers []*Provider
+	Classes   []QueryClass
+	Config    Config
+}
+
+// NewPopulation builds a population from the configuration, drawing class
+// memberships and preferences from rng. startTime anchors the utilization
+// windows (normally 0).
+func NewPopulation(cfg Config, rng *randx.Rand, startTime float64) *Population {
+	pop := &Population{
+		Consumers: make([]*Consumer, cfg.Consumers),
+		Providers: make([]*Provider, cfg.Providers),
+		Classes:   append([]QueryClass(nil), cfg.QueryClasses...),
+		Config:    cfg,
+	}
+
+	interest := assignClasses(cfg.Providers, cfg.InterestShares, rng)
+	adapt := assignClasses(cfg.Providers, cfg.AdaptShares, rng)
+	capc := assignClasses(cfg.Providers, cfg.CapacityShares, rng)
+
+	for i := range pop.Providers {
+		p := &Provider{
+			ID:            i,
+			Epsilon:       cfg.Epsilon,
+			InterestClass: interest[i],
+			AdaptClass:    adapt[i],
+			CapClass:      capc[i],
+			Capacity:      cfg.CapacityFor(capc[i]),
+			Reputation:    rng.Uniform(cfg.ReputationBand[0], cfg.ReputationBand[1]),
+			Public:        satisfaction.NewProviderTracker(cfg.ProviderK, cfg.InitialSatisfaction, cfg.PriorSamples),
+			Private:       satisfaction.NewProviderTracker(cfg.ProviderK, cfg.InitialSatisfaction, cfg.PriorSamples),
+			SmoothSat:     cfg.InitialSatisfaction,
+			SmoothAdq:     cfg.InitialSatisfaction,
+			SmoothUt:      cfg.InitialSatisfaction,
+			Alive:         true,
+		}
+		p.Util = NewUtilizationWindow(cfg.UtilizationWindow, p.Capacity, startTime)
+		p.LoadHorizon = cfg.LoadHorizon
+		band := cfg.AdaptBands[p.AdaptClass]
+		p.prefs = make([]float64, len(cfg.QueryClasses))
+		for c := range p.prefs {
+			p.prefs[c] = rng.Uniform(band[0], band[1])
+		}
+		pop.Providers[i] = p
+	}
+
+	for i := range pop.Consumers {
+		c := &Consumer{
+			ID:        i,
+			Upsilon:   cfg.Upsilon,
+			Epsilon:   cfg.Epsilon,
+			Tracker:   satisfaction.NewConsumerTracker(cfg.ConsumerK, cfg.InitialSatisfaction, cfg.PriorSamples),
+			SmoothSat: cfg.InitialSatisfaction,
+			SmoothAdq: cfg.InitialSatisfaction,
+			Alive:     true,
+			prefs:     make([]float64, cfg.Providers),
+		}
+		for j, p := range pop.Providers {
+			band := cfg.InterestBands[p.InterestClass]
+			c.prefs[j] = rng.Uniform(band[0], band[1])
+		}
+		pop.Consumers[i] = c
+	}
+	return pop
+}
+
+// assignClasses deals n memberships according to shares (indexed by
+// ClassLevel) and shuffles them so the three dimensions stay independent.
+func assignClasses(n int, shares [3]float64, rng *randx.Rand) []ClassLevel {
+	out := make([]ClassLevel, 0, n)
+	counts := [3]int{}
+	for lvl := 0; lvl < 2; lvl++ {
+		counts[lvl] = int(shares[lvl]*float64(n) + 0.5)
+	}
+	counts[2] = n - counts[0] - counts[1]
+	if counts[2] < 0 {
+		counts[2] = 0
+		counts[1] = n - counts[0]
+		if counts[1] < 0 {
+			counts[1] = 0
+			counts[0] = n
+		}
+	}
+	for lvl, cnt := range counts {
+		for i := 0; i < cnt; i++ {
+			out = append(out, ClassLevel(lvl))
+		}
+	}
+	rng.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// TotalCapacity is the aggregate capacity of all providers (units/second),
+// the paper's "total system capacity".
+func (pop *Population) TotalCapacity() float64 {
+	sum := 0.0
+	for _, p := range pop.Providers {
+		sum += p.Capacity
+	}
+	return sum
+}
+
+// AliveCapacity is the aggregate capacity of providers still registered.
+func (pop *Population) AliveCapacity() float64 {
+	sum := 0.0
+	for _, p := range pop.Providers {
+		if p.Alive {
+			sum += p.Capacity
+		}
+	}
+	return sum
+}
+
+// AliveProviders returns the providers still registered to the mediator.
+func (pop *Population) AliveProviders() []*Provider {
+	out := make([]*Provider, 0, len(pop.Providers))
+	for _, p := range pop.Providers {
+		if p.Alive {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// AliveConsumers returns the consumers still registered to the mediator.
+func (pop *Population) AliveConsumers() []*Consumer {
+	out := make([]*Consumer, 0, len(pop.Consumers))
+	for _, c := range pop.Consumers {
+		if c.Alive {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// ProviderValues maps providers to a metric value set; when aliveOnly is
+// set, departed providers are skipped. Used by the §4 metric sampling.
+func (pop *Population) ProviderValues(aliveOnly bool, f func(*Provider) float64) []float64 {
+	out := make([]float64, 0, len(pop.Providers))
+	for _, p := range pop.Providers {
+		if aliveOnly && !p.Alive {
+			continue
+		}
+		out = append(out, f(p))
+	}
+	return out
+}
+
+// ConsumerValues maps consumers to a metric value set.
+func (pop *Population) ConsumerValues(aliveOnly bool, f func(*Consumer) float64) []float64 {
+	out := make([]float64, 0, len(pop.Consumers))
+	for _, c := range pop.Consumers {
+		if aliveOnly && !c.Alive {
+			continue
+		}
+		out = append(out, f(c))
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package satisfaction
+
+// ProviderTracker maintains the Section 3.2 characteristics of one provider
+// over the k last queries proposed to it (the set PQ_p^k, vector PPI_p).
+// Every proposed query records the provider's shown intention; the subset
+// that the provider actually performed (SQ_p^k ⊆ PQ_p^k) additionally feeds
+// its satisfaction. When an old proposal slides out of the window it leaves
+// both aggregates, so SQ remains a true subset of PQ at all times.
+//
+// The same tracker is used twice in the system: fed with *intentions* at the
+// mediator (the public view that the query-allocation method can see and
+// that ω in Equation 6 relies on) and fed with *preferences* privately at
+// the provider (the view Figures 4(b)-(c) measure and that Def 8's exponent
+// and the departure decisions use). Section 3 notes the definitions apply to
+// either with no technical difference.
+type ProviderTracker struct {
+	entries      []entry
+	head         int
+	n            int
+	propSum      float64
+	perfSum      float64
+	perfN        int
+	prior        float64
+	priorSamples int
+}
+
+type entry struct {
+	rated     float64 // (intention+1)/2 ∈ [0,1]
+	performed bool
+}
+
+// NewProviderTracker returns a tracker with window capacity k over proposed
+// queries, initial characteristic value prior, and a warm-up length of
+// priorSamples *proposals*: while fewer than priorSamples queries have been
+// proposed, both characteristics blend the prior in (realizing the paper's
+// 0.5 initialization); once warm, Definitions 4-5 apply literally — in
+// particular δs(p) is 0 when the performed subset SQ_p^k is empty, which is
+// the mechanism behind the Figure 4(c) "punishment" of preference-blind
+// allocation (a provider that rarely performs reads spells of zero
+// satisfaction even when the queries it does get are fine).
+func NewProviderTracker(k int, prior float64, priorSamples int) *ProviderTracker {
+	if k < 1 {
+		k = 1
+	}
+	if priorSamples < 0 {
+		priorSamples = 0
+	}
+	return &ProviderTracker{
+		entries:      make([]entry, k),
+		prior:        prior,
+		priorSamples: priorSamples,
+	}
+}
+
+// Record adds one proposed query with the intention (or preference) the
+// provider showed for it, and whether the provider performed it.
+func (t *ProviderTracker) Record(shown float64, performed bool) {
+	r := Rate(shown)
+	if t.n == len(t.entries) {
+		old := t.entries[t.head]
+		t.propSum -= old.rated
+		if old.performed {
+			t.perfSum -= old.rated
+			t.perfN--
+		}
+	} else {
+		t.n++
+	}
+	t.entries[t.head] = entry{rated: r, performed: performed}
+	t.propSum += r
+	if performed {
+		t.perfSum += r
+		t.perfN++
+	}
+	t.head++
+	if t.head == len(t.entries) {
+		t.head = 0
+	}
+}
+
+// Adequation returns δa(p) (Definition 4) ∈ [0,1]: the mapped average of
+// the provider's shown intentions over the k last proposed queries.
+func (t *ProviderTracker) Adequation() float64 {
+	return blend(t.propSum, t.n, t.prior, t.priorSamples)
+}
+
+// Satisfaction returns δs(p) (Definition 5) ∈ [0,1]: the mapped average
+// over the performed subset SQ_p^k, 0 when SQ is empty. During the warm-up
+// (fewer than priorSamples proposals seen) the prior blends in with weight
+// proportional to the remaining warm-up so the tracker starts at exactly
+// the configured initial satisfaction.
+func (t *ProviderTracker) Satisfaction() float64 {
+	if t.n < t.priorSamples {
+		w := float64(t.priorSamples - t.n)
+		return (t.prior*w + t.perfSum) / (w + float64(t.perfN))
+	}
+	if t.perfN == 0 {
+		return 0
+	}
+	return t.perfSum / float64(t.perfN)
+}
+
+// AllocationSatisfaction returns δas(p) = δs(p)/δa(p) (Definition 6)
+// ∈ [0,∞], with the same boundary conventions as the consumer variant.
+func (t *ProviderTracker) AllocationSatisfaction() float64 {
+	return allocationSatisfaction(t.Satisfaction(), t.Adequation())
+}
+
+// Proposed returns the number of proposals currently in the window (≤ k).
+func (t *ProviderTracker) Proposed() int { return t.n }
+
+// Performed returns how many of the windowed proposals were performed.
+func (t *ProviderTracker) Performed() int { return t.perfN }

@@ -1,0 +1,345 @@
+package satisfaction
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+
+func TestRateAndClamp(t *testing.T) {
+	tests := []struct {
+		in, want float64
+	}{
+		{-1, 0}, {0, 0.5}, {1, 1}, {0.5, 0.75},
+		{-3, 0}, {3, 1}, // clamped
+	}
+	for _, tt := range tests {
+		if got := Rate(tt.in); !almostEqual(got, tt.want) {
+			t.Errorf("Rate(%v) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+	if got := Rate(math.NaN()); !almostEqual(got, 0.5) {
+		t.Errorf("Rate(NaN) = %v, want 0.5", got)
+	}
+}
+
+func TestWindowBasics(t *testing.T) {
+	w := NewWindow(3, 0.5, 0)
+	if got := w.Mean(); got != 0.5 {
+		t.Errorf("empty window with priorSamples=0 returns prior: got %v", got)
+	}
+	w.Push(1)
+	if got := w.Mean(); !almostEqual(got, 1) {
+		t.Errorf("after one push mean = %v, want 1", got)
+	}
+	w.Push(0)
+	w.Push(0.5)
+	if got := w.Mean(); !almostEqual(got, 0.5) {
+		t.Errorf("full window mean = %v, want 0.5", got)
+	}
+	// Eviction: pushing 1 evicts the first value (1): window = {0, 0.5, 1}.
+	w.Push(1)
+	if got := w.Mean(); !almostEqual(got, 0.5) {
+		t.Errorf("post-eviction mean = %v, want 0.5", got)
+	}
+	if w.Len() != 3 || w.Cap() != 3 {
+		t.Errorf("Len/Cap = %d/%d, want 3/3", w.Len(), w.Cap())
+	}
+}
+
+func TestWindowPriorBlending(t *testing.T) {
+	w := NewWindow(100, 0.5, 4)
+	if !almostEqual(w.Mean(), 0.5) {
+		t.Errorf("empty mean = %v, want prior 0.5", w.Mean())
+	}
+	w.Push(1)
+	// (0.5*3 + 1)/4 = 0.625
+	if !almostEqual(w.Mean(), 0.625) {
+		t.Errorf("one-sample blended mean = %v, want 0.625", w.Mean())
+	}
+	w.Push(1)
+	w.Push(1)
+	w.Push(1)
+	if !almostEqual(w.Mean(), 1) {
+		t.Errorf("at priorSamples the prior has vanished: %v", w.Mean())
+	}
+	w.Push(0)
+	if !almostEqual(w.Mean(), 0.8) {
+		t.Errorf("past priorSamples mean is pure: %v, want 0.8", w.Mean())
+	}
+}
+
+func TestWindowRawMean(t *testing.T) {
+	w := NewWindow(4, 0.5, 10)
+	if _, ok := w.RawMean(); ok {
+		t.Error("RawMean of empty window should report not-ok")
+	}
+	w.Push(0.25)
+	if m, ok := w.RawMean(); !ok || !almostEqual(m, 0.25) {
+		t.Errorf("RawMean = %v/%v, want 0.25/true", m, ok)
+	}
+}
+
+func TestWindowTinyCapacity(t *testing.T) {
+	w := NewWindow(0, 0.5, 0) // clamped to 1
+	if w.Cap() != 1 {
+		t.Fatalf("cap = %d, want 1", w.Cap())
+	}
+	w.Push(0.1)
+	w.Push(0.9)
+	if got := w.Mean(); !almostEqual(got, 0.9) {
+		t.Errorf("mean = %v, want only the last value 0.9", got)
+	}
+}
+
+func TestQueryAdequationEquation1(t *testing.T) {
+	// eWine example, binary intentions: Pq = {p1..p5} with consumer
+	// intentions {-1, 1, -1, 1, 1} (trusts p2, p4, p5).
+	ci := []float64{-1, 1, -1, 1, 1}
+	// mean = 1/5, mapped = (0.2+1)/2 = 0.6
+	if got := QueryAdequation(ci); !almostEqual(got, 0.6) {
+		t.Errorf("adequation = %v, want 0.6", got)
+	}
+	if got := QueryAdequation(nil); !almostEqual(got, 0.5) {
+		t.Errorf("empty Pq adequation = %v, want indifferent 0.5", got)
+	}
+}
+
+func TestQuerySatisfactionEquation2(t *testing.T) {
+	// Section 3.1.2 discussion: eWine desires n=2 results; allocating only
+	// to p2 (intention 1) yields (1/2 + 1)/2 = 0.75 — the missing result
+	// caps satisfaction below 1.
+	if got := QuerySatisfaction([]float64{1}, 2); !almostEqual(got, 0.75) {
+		t.Errorf("satisfaction = %v, want 0.75", got)
+	}
+	// Both desired results from intention-1 providers: full satisfaction.
+	if got := QuerySatisfaction([]float64{1, 1}, 2); !almostEqual(got, 1) {
+		t.Errorf("satisfaction = %v, want 1", got)
+	}
+	// Allocation to an undesired provider drags satisfaction below 0.5.
+	if got := QuerySatisfaction([]float64{-1}, 1); !almostEqual(got, 0) {
+		t.Errorf("satisfaction = %v, want 0", got)
+	}
+	// n < 1 treated as 1.
+	if got := QuerySatisfaction([]float64{1}, 0); !almostEqual(got, 1) {
+		t.Errorf("satisfaction = %v, want 1", got)
+	}
+}
+
+func TestConsumerTrackerLifecycle(t *testing.T) {
+	ct := NewConsumerTracker(2, 0.5, 0)
+	if !almostEqual(ct.Adequation(), 0.5) || !almostEqual(ct.Satisfaction(), 0.5) {
+		t.Fatal("fresh tracker should report the prior")
+	}
+	// Query to Pq = {0.8 liked, -0.4 disliked}; allocate to the liked one.
+	ct.RecordAllocation([]float64{0.8, -0.4}, []int{0}, 1)
+	// δa = ((0.8-0.4)/2 + 1)/2 = 0.6; δs = (0.8 + 1)/2 = 0.9
+	if !almostEqual(ct.Adequation(), 0.6) {
+		t.Errorf("adequation = %v, want 0.6", ct.Adequation())
+	}
+	if !almostEqual(ct.Satisfaction(), 0.9) {
+		t.Errorf("satisfaction = %v, want 0.9", ct.Satisfaction())
+	}
+	if got := ct.AllocationSatisfaction(); !almostEqual(got, 1.5) {
+		t.Errorf("allocation satisfaction = %v, want 1.5", got)
+	}
+	if ct.Queries() != 1 {
+		t.Errorf("Queries = %d, want 1", ct.Queries())
+	}
+	// Allocating to the disliked provider once balances the earlier good
+	// allocation exactly: window = {δs 0.9, 0.3} vs {δa 0.6, 0.6} → neutral.
+	ct.RecordAllocation([]float64{0.8, -0.4}, []int{1}, 1)
+	if got := ct.AllocationSatisfaction(); !almostEqual(got, 1) {
+		t.Errorf("allocation satisfaction = %v, want neutral 1", got)
+	}
+	// A second punishing allocation slides the good one out (k=2): the
+	// method now punishes the consumer, δas < 1.
+	ct.RecordAllocation([]float64{0.8, -0.4}, []int{1}, 1)
+	if ct.AllocationSatisfaction() >= 1 {
+		t.Errorf("punishing allocation should give δas < 1, got %v", ct.AllocationSatisfaction())
+	}
+	// Window slides: recording two more identical allocations fully
+	// replaces the old pair.
+	ct.RecordAllocation([]float64{1}, []int{0}, 1)
+	ct.RecordAllocation([]float64{1}, []int{0}, 1)
+	if !almostEqual(ct.Adequation(), 1) || !almostEqual(ct.Satisfaction(), 1) {
+		t.Errorf("window should have slid to the perfect allocations: δa=%v δs=%v",
+			ct.Adequation(), ct.Satisfaction())
+	}
+}
+
+func TestConsumerTrackerSelectedIndexOutOfRange(t *testing.T) {
+	ct := NewConsumerTracker(4, 0.5, 0)
+	// Out-of-range indexes are ignored rather than panicking.
+	ct.RecordAllocation([]float64{1}, []int{0, 5, -1}, 1)
+	if !almostEqual(ct.Satisfaction(), 1) {
+		t.Errorf("satisfaction = %v, want 1", ct.Satisfaction())
+	}
+}
+
+func TestAllocationSatisfactionBoundaries(t *testing.T) {
+	if got := allocationSatisfaction(0, 0); !almostEqual(got, 1) {
+		t.Errorf("0/0 should be neutral 1, got %v", got)
+	}
+	if got := allocationSatisfaction(0.5, 0); !math.IsInf(got, 1) {
+		t.Errorf(">0/0 should be +Inf, got %v", got)
+	}
+	if got := allocationSatisfaction(0.3, 0.6); !almostEqual(got, 0.5) {
+		t.Errorf("0.3/0.6 = %v, want 0.5", got)
+	}
+}
+
+func TestProviderTrackerDefinitions(t *testing.T) {
+	pt := NewProviderTracker(4, 0, 0)
+	// Paper-literal: empty sets give δa = δs = 0 (Defs 4-5).
+	if pt.Adequation() != 0 || pt.Satisfaction() != 0 {
+		t.Fatal("paper-literal tracker should report 0 when empty")
+	}
+	// Proposals with intentions {1, -1, 1, 0}; performed the two positive.
+	pt.Record(1, true)
+	pt.Record(-1, false)
+	pt.Record(1, true)
+	pt.Record(0, false)
+	// δa = mean of rated {1, 0, 1, 0.5} = 0.625
+	if !almostEqual(pt.Adequation(), 0.625) {
+		t.Errorf("adequation = %v, want 0.625", pt.Adequation())
+	}
+	// δs over performed {1, 1} = 1
+	if !almostEqual(pt.Satisfaction(), 1) {
+		t.Errorf("satisfaction = %v, want 1", pt.Satisfaction())
+	}
+	if got := pt.AllocationSatisfaction(); !almostEqual(got, 1.6) {
+		t.Errorf("allocation satisfaction = %v, want 1.6", got)
+	}
+	if pt.Proposed() != 4 || pt.Performed() != 2 {
+		t.Errorf("Proposed/Performed = %d/%d, want 4/2", pt.Proposed(), pt.Performed())
+	}
+}
+
+func TestProviderTrackerEvictionKeepsSubset(t *testing.T) {
+	pt := NewProviderTracker(2, 0, 0)
+	pt.Record(1, true) // will be evicted
+	pt.Record(-1, false)
+	pt.Record(0.5, false) // evicts the performed entry
+	if pt.Performed() != 0 {
+		t.Errorf("performed entry should have been evicted, Performed = %d", pt.Performed())
+	}
+	if pt.Satisfaction() != 0 {
+		t.Errorf("satisfaction over empty SQ should be 0, got %v", pt.Satisfaction())
+	}
+	// δa over {-1 → 0, 0.5 → 0.75} = 0.375
+	if !almostEqual(pt.Adequation(), 0.375) {
+		t.Errorf("adequation = %v, want 0.375", pt.Adequation())
+	}
+}
+
+func TestProviderTrackerPrior(t *testing.T) {
+	pt := NewProviderTracker(500, 0.5, 4)
+	if !almostEqual(pt.Satisfaction(), 0.5) || !almostEqual(pt.Adequation(), 0.5) {
+		t.Fatal("fresh tracker should report the 0.5 prior")
+	}
+	// One performed query it loved: satisfaction moves up but is damped.
+	pt.Record(1, true)
+	want := (0.5*3 + 1) / 4
+	if !almostEqual(pt.Satisfaction(), want) {
+		t.Errorf("blended satisfaction = %v, want %v", pt.Satisfaction(), want)
+	}
+	// Unperformed proposals consume warm-up weight: the prior's influence
+	// shrinks as proposals accumulate, so the lone performed sample (1)
+	// pulls satisfaction further up.
+	pt.Record(0, false)
+	pt.Record(0, false)
+	want = (0.5*1 + 1) / (1 + 1) // warm-up weight 4-3=1, one performed sample
+	if !almostEqual(pt.Satisfaction(), want) {
+		t.Errorf("satisfaction = %v, want %v", pt.Satisfaction(), want)
+	}
+	adq := (0.5*1 + 1 + 0.5 + 0.5) / 4
+	if !almostEqual(pt.Adequation(), adq) {
+		t.Errorf("adequation = %v, want %v", pt.Adequation(), adq)
+	}
+}
+
+func TestProviderTrackerPostWarmupEmptySQ(t *testing.T) {
+	// Once warm, Definition 5 applies literally: empty SQ reads 0.
+	pt := NewProviderTracker(10, 0.5, 2)
+	pt.Record(0.8, false)
+	pt.Record(0.8, false)
+	pt.Record(0.8, false)
+	if got := pt.Satisfaction(); got != 0 {
+		t.Errorf("warm tracker with empty SQ: δs = %v, want 0", got)
+	}
+	pt.Record(0.8, true)
+	if got := pt.Satisfaction(); !almostEqual(got, 0.9) {
+		t.Errorf("δs = %v, want 0.9 (single performed sample)", got)
+	}
+}
+
+func TestProviderTrackerSatisfiedVsDissatisfied(t *testing.T) {
+	// A provider performing only queries it does not want ends up
+	// dissatisfied relative to its adequation (the Capacity-based failure
+	// mode of Table 3).
+	pt := NewProviderTracker(100, 0.5, 1)
+	for i := 0; i < 50; i++ {
+		pt.Record(0.9, false) // wants these, never gets them
+		pt.Record(-0.8, true) // gets only these
+	}
+	if pt.Satisfaction() >= pt.Adequation() {
+		t.Errorf("punished provider: δs=%v should be < δa=%v", pt.Satisfaction(), pt.Adequation())
+	}
+	if pt.AllocationSatisfaction() >= 1 {
+		t.Errorf("δas = %v, want < 1", pt.AllocationSatisfaction())
+	}
+}
+
+func TestWindowMeanBoundsProperty(t *testing.T) {
+	f := func(raw []float64, k uint8) bool {
+		w := NewWindow(int(k%64)+1, 0.5, 8)
+		for _, v := range raw {
+			w.Push(Rate(v)) // rated values ∈ [0,1]
+		}
+		m := w.Mean()
+		return m >= -1e-9 && m <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProviderTrackerBoundsProperty(t *testing.T) {
+	f := func(raw []float64, flags []bool, k uint8) bool {
+		pt := NewProviderTracker(int(k%64)+1, 0.5, 4)
+		for i, v := range raw {
+			performed := i < len(flags) && flags[i]
+			pt.Record(v, performed)
+		}
+		a, s := pt.Adequation(), pt.Satisfaction()
+		if a < -1e-9 || a > 1+1e-9 || s < -1e-9 || s > 1+1e-9 {
+			return false
+		}
+		return pt.Performed() <= pt.Proposed()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestConsumerTrackerBoundsProperty(t *testing.T) {
+	f := func(raw []float64, n uint8) bool {
+		ct := NewConsumerTracker(32, 0.5, 4)
+		ints := make([]float64, 0, len(raw))
+		for _, v := range raw {
+			ints = append(ints, Clamp(v))
+		}
+		if len(ints) == 0 {
+			return true
+		}
+		ct.RecordAllocation(ints, []int{0}, int(n%4)+1)
+		a, s := ct.Adequation(), ct.Satisfaction()
+		return a >= -1e-9 && a <= 1+1e-9 && s >= -1e-9 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

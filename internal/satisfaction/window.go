@@ -1,0 +1,109 @@
+// Package satisfaction implements the participant characterization model of
+// SQLB (VLDB 2007), Section 3: adequation δa, satisfaction δs, and allocation
+// satisfaction δas, each assessed over a sliding window of the k last
+// interactions with the mediator.
+//
+// Intentions live in [-1,1] (Section 2); the characteristics live in [0,1]
+// via the affine map r = (i+1)/2 applied inside Equations 1-2 and
+// Definitions 4-5. Because the map is affine, mapping each recorded value and
+// averaging is identical to averaging and then mapping; the trackers store
+// mapped values, which also makes the 0.5 initial-satisfaction prior of the
+// paper's experimental setup (Table 2) natural to express.
+package satisfaction
+
+import "math"
+
+// Rate maps an intention i ∈ [-1,1] to the characteristic scale [0,1].
+// Out-of-range inputs are clamped first: Section 2 fixes the expressed
+// intention range even though the raw Def 7/8 formulas can exceed it.
+func Rate(intention float64) float64 {
+	return (Clamp(intention) + 1) / 2
+}
+
+// Clamp restricts an intention to the expressed range [-1,1] of Section 2.
+func Clamp(intention float64) float64 {
+	if math.IsNaN(intention) {
+		return 0
+	}
+	if intention > 1 {
+		return 1
+	}
+	if intention < -1 {
+		return -1
+	}
+	return intention
+}
+
+// Window is a fixed-capacity sliding window over the k last recorded values
+// with a virtual prior: until priorSamples real values have been recorded,
+// the mean blends the prior in so that an empty window reports exactly the
+// prior and early readings move smoothly away from it. This realizes the
+// paper's "initialize them with a satisfaction value of 0.5, which evolves
+// with their last k ... queries" (Section 6.1). With priorSamples == 0 the
+// window is paper-literal: the mean of an empty set is 0 (Defs 4-5).
+type Window struct {
+	buf          []float64
+	head         int // next slot to overwrite
+	n            int
+	sum          float64
+	prior        float64
+	priorSamples int
+}
+
+// NewWindow returns a window of capacity k (k >= 1) with the given prior
+// and prior weight (in virtual samples).
+func NewWindow(k int, prior float64, priorSamples int) *Window {
+	if k < 1 {
+		k = 1
+	}
+	if priorSamples < 0 {
+		priorSamples = 0
+	}
+	return &Window{buf: make([]float64, k), prior: prior, priorSamples: priorSamples}
+}
+
+// Push records a value, evicting the oldest if the window is full.
+func (w *Window) Push(v float64) {
+	if w.n == len(w.buf) {
+		w.sum -= w.buf[w.head]
+	} else {
+		w.n++
+	}
+	w.buf[w.head] = v
+	w.sum += v
+	w.head++
+	if w.head == len(w.buf) {
+		w.head = 0
+	}
+}
+
+// Mean returns the prior-blended mean of the window.
+func (w *Window) Mean() float64 {
+	return blend(w.sum, w.n, w.prior, w.priorSamples)
+}
+
+// RawMean returns the plain mean over recorded values and whether the window
+// holds any value at all.
+func (w *Window) RawMean() (float64, bool) {
+	if w.n == 0 {
+		return 0, false
+	}
+	return w.sum / float64(w.n), true
+}
+
+// Len returns the number of recorded values, and Cap the window capacity k.
+func (w *Window) Len() int { return w.n }
+
+// Cap returns the window capacity k.
+func (w *Window) Cap() int { return len(w.buf) }
+
+// blend computes the prior-weighted mean of n samples summing to sum.
+func blend(sum float64, n int, prior float64, priorSamples int) float64 {
+	if n >= priorSamples {
+		if n == 0 {
+			return prior
+		}
+		return sum / float64(n)
+	}
+	return (prior*float64(priorSamples-n) + sum) / float64(priorSamples)
+}

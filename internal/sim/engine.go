@@ -1,0 +1,380 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+
+	"sqlb/internal/mediator"
+	"sqlb/internal/metrics"
+	"sqlb/internal/model"
+	"sqlb/internal/randx"
+	"sqlb/internal/stats"
+	"sqlb/internal/workload"
+)
+
+// Engine runs one simulation: it owns the population, the mediator, the
+// event heap, and the virtual clock.
+type Engine struct {
+	opts Options
+	pop  *model.Population
+	med  *mediator.Mediator
+	gen  *workload.Generator
+
+	arrivalRng *randx.Rand
+
+	events eventHeap
+	seq    uint64
+	now    float64
+
+	totalCapacity float64
+	meanUnits     float64
+
+	aliveConsumers []*model.Consumer
+
+	inflight map[uint64]*inflightQuery
+
+	// response-time aggregates: whole-run and since-last-sample.
+	respHist                   *stats.Histogram
+	respSum, respMax           float64
+	respCount                  uint64
+	windowRespSum              float64
+	windowRespCount            int
+	issued, completed, dropped uint64
+
+	departuresP []Departure
+	departuresC []Departure
+	samples     []Sample
+	autonomy    Autonomy
+
+	smoothAlpha    float64
+	smoothAlphaC   float64
+	smoothInterval float64
+}
+
+type inflightQuery struct {
+	issuedAt  float64
+	remaining int
+	// consumer and servers support the reputation-feedback extension
+	// (Config.ReputationFeedbackAlpha); nil when it is disabled.
+	consumer *model.Consumer
+	servers  []*model.Provider
+	class    int
+}
+
+// New builds an engine from the options, constructing the population from
+// the run seed. Returns an error if the options are invalid.
+func New(opts Options) (*Engine, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	master := randx.New(opts.Seed)
+	popRng := master.Split()
+	genRng := master.Split()
+	arrRng := master.Split()
+
+	pop := model.NewPopulation(opts.Config, popRng, 0)
+	e := &Engine{
+		opts:          opts,
+		pop:           pop,
+		med:           mediator.New(opts.Strategy),
+		gen:           workload.NewGenerator(opts.Config.QueryClasses, opts.Config.QueryN, genRng),
+		arrivalRng:    arrRng,
+		totalCapacity: pop.TotalCapacity(),
+		meanUnits:     opts.Config.MeanQueryUnits(),
+		inflight:      make(map[uint64]*inflightQuery),
+		respHist:      stats.DefaultResponseHistogram(),
+		autonomy:      opts.Autonomy.withDefaults(),
+	}
+	e.aliveConsumers = append(e.aliveConsumers, pop.Consumers...)
+	e.smoothAlpha, e.smoothAlphaC, e.smoothInterval = opts.smoothingDefaults()
+	return e, nil
+}
+
+// Population exposes the engine's population (read-mostly; used by
+// experiments for class totals and by examples).
+func (e *Engine) Population() *model.Population { return e.pop }
+
+// Run executes the simulation and returns its result. It can be called
+// once per engine.
+func (e *Engine) Run() *Result {
+	e.scheduleNextArrival()
+	e.schedule(e.smoothInterval, evSmooth, 0)
+	if e.opts.SampleInterval > 0 {
+		e.schedule(e.opts.SampleInterval, evSample, 0)
+	}
+	if e.opts.Autonomy.enabled() {
+		first := e.autonomy.Grace
+		if first <= 0 {
+			first = e.autonomy.CheckInterval
+		}
+		e.schedule(first, evDepartureCheck, 0)
+	}
+
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(event)
+		if ev.time > e.opts.Duration {
+			break
+		}
+		e.now = ev.time
+		switch ev.kind {
+		case evArrival:
+			e.handleArrival()
+		case evCompletion:
+			e.handleCompletion(ev.qid)
+		case evSample:
+			e.takeSample()
+			e.schedule(e.now+e.opts.SampleInterval, evSample, 0)
+		case evDepartureCheck:
+			e.checkDepartures()
+			e.schedule(e.now+e.autonomy.CheckInterval, evDepartureCheck, 0)
+		case evSmooth:
+			e.smoothAssessments()
+			e.schedule(e.now+e.smoothInterval, evSmooth, 0)
+		}
+	}
+	e.now = e.opts.Duration
+	return e.buildResult()
+}
+
+// scheduleNextArrival draws the next Poisson inter-arrival from the current
+// workload fraction, damped by the fraction of consumers still present
+// (fewer consumers, fewer queries — Section 6.3.2).
+func (e *Engine) scheduleNextArrival() {
+	if len(e.aliveConsumers) == 0 {
+		return
+	}
+	frac := e.opts.Workload.Fraction(e.now)
+	rate := workload.ArrivalRate(frac, e.totalCapacity, e.meanUnits)
+	rate *= float64(len(e.aliveConsumers)) / float64(len(e.pop.Consumers))
+	if rate <= 0 {
+		// Idle profile: poll again in a second of sim-time.
+		e.schedule(e.now+1, evArrival, 0)
+		return
+	}
+	e.schedule(e.now+e.arrivalRng.Exp(rate), evArrival, 0)
+}
+
+func (e *Engine) handleArrival() {
+	defer e.scheduleNextArrival()
+	if len(e.aliveConsumers) == 0 {
+		return
+	}
+	// An arrival scheduled while the profile was idle is just a poll.
+	if workload.ArrivalRate(e.opts.Workload.Fraction(e.now), e.totalCapacity, e.meanUnits) <= 0 {
+		return
+	}
+	c := e.aliveConsumers[e.arrivalRng.Pick(len(e.aliveConsumers))]
+	q := e.gen.Next(e.now, c)
+	e.issued++
+
+	alloc, err := e.med.Allocate(e.now, q, e.pop)
+	if err != nil {
+		e.dropped++
+		return
+	}
+	fl := &inflightQuery{issuedAt: q.IssuedAt, remaining: len(alloc.Selected)}
+	if e.opts.Config.ReputationFeedbackAlpha > 0 {
+		fl.consumer = q.Consumer
+		fl.servers = alloc.SelectedProviders()
+		fl.class = q.Class
+	}
+	e.inflight[q.ID] = fl
+	for _, p := range alloc.SelectedProviders() {
+		done := p.Assign(e.now, q.Units)
+		e.schedule(done, evCompletion, q.ID)
+	}
+}
+
+func (e *Engine) handleCompletion(qid uint64) {
+	fl, ok := e.inflight[qid]
+	if !ok {
+		return
+	}
+	fl.remaining--
+	if fl.remaining > 0 {
+		return
+	}
+	delete(e.inflight, qid)
+	rt := e.now - fl.issuedAt
+	e.completed++
+	e.respHist.Observe(rt)
+	e.respSum += rt
+	if rt > e.respMax {
+		e.respMax = rt
+	}
+	e.respCount++
+	e.windowRespSum += rt
+	e.windowRespCount++
+
+	// Reputation-feedback extension: the consumer rates every provider
+	// that served the query with its private preference for it.
+	if fl.consumer != nil {
+		alpha := e.opts.Config.ReputationFeedbackAlpha
+		for _, p := range fl.servers {
+			p.RecordFeedback(fl.consumer.Preference(p, fl.class), alpha)
+		}
+	}
+}
+
+// takeSample snapshots the §4 metrics over the alive participants.
+func (e *Engine) takeSample() {
+	e.samples = append(e.samples, e.snapshot())
+}
+
+func (e *Engine) snapshot() Sample {
+	s := Sample{
+		Time:             e.now,
+		WorkloadFraction: e.opts.Workload.Fraction(e.now),
+		ProvSatIntention: metrics.Summarize(e.pop.ProviderValues(true, func(p *model.Provider) float64 {
+			return p.Public.Satisfaction()
+		})),
+		ProvSatPreference: metrics.Summarize(e.pop.ProviderValues(true, func(p *model.Provider) float64 {
+			return p.SmoothSat
+		})),
+		ProvAllocSatPreference: metrics.Summarize(e.pop.ProviderValues(true, func(p *model.Provider) float64 {
+			if p.SmoothAdq == 0 {
+				return 1
+			}
+			return clampAllocSat(p.SmoothSat / p.SmoothAdq)
+		})),
+		ProvAdequationPreference: metrics.Summarize(e.pop.ProviderValues(true, func(p *model.Provider) float64 {
+			return p.SmoothAdq
+		})),
+		ConsSat: metrics.Summarize(e.pop.ConsumerValues(true, func(c *model.Consumer) float64 {
+			return c.Tracker.Satisfaction()
+		})),
+		ConsAllocSat: metrics.Summarize(e.pop.ConsumerValues(true, func(c *model.Consumer) float64 {
+			return clampAllocSat(c.Tracker.AllocationSatisfaction())
+		})),
+		Utilization: metrics.Summarize(e.pop.ProviderValues(true, func(p *model.Provider) float64 {
+			return p.MeasuredLoad(e.now)
+		})),
+		AliveProviders: len(e.pop.AliveProviders()),
+		AliveConsumers: len(e.aliveConsumers),
+	}
+	if e.windowRespCount > 0 {
+		s.ResponseTimeMean = e.windowRespSum / float64(e.windowRespCount)
+		s.ResponseCount = e.windowRespCount
+	}
+	e.windowRespSum, e.windowRespCount = 0, 0
+	return s
+}
+
+// smoothAssessments folds the current tracker readings into every alive
+// participant's long-run self-assessment (Definition 8's exponent and the
+// departure rules consult it).
+func (e *Engine) smoothAssessments() {
+	for _, p := range e.pop.Providers {
+		if p.Alive {
+			p.Smooth(e.smoothAlpha, e.now)
+		}
+	}
+	for _, c := range e.aliveConsumers {
+		c.Smooth(e.smoothAlphaC)
+	}
+}
+
+// checkDepartures applies the Section 6.3.2 rules. The "optimal
+// utilization" of a provider equals the current workload fraction (the
+// paper: at 80% workload the optimal utilization is 0.8). Dissatisfaction
+// is judged on the participants' long-run self-assessment of their
+// private, preference-based characteristics (see Options.SmoothingAlpha).
+func (e *Engine) checkDepartures() {
+	optimal := e.opts.Workload.Fraction(e.now)
+	a := e.autonomy
+	if a.ProvidersDissatisfaction || a.ProvidersStarvation || a.ProvidersOverutilization {
+		for _, p := range e.pop.Providers {
+			if !p.Alive {
+				continue
+			}
+			reason := model.ReasonNone
+			switch {
+			case a.ProvidersDissatisfaction &&
+				p.SmoothSat < p.SmoothAdq-a.ProviderDissatMargin:
+				reason = model.ReasonDissatisfaction
+			case a.ProvidersStarvation &&
+				p.SmoothUt < a.StarvationFraction*optimal:
+				reason = model.ReasonStarvation
+			case a.ProvidersOverutilization &&
+				p.SmoothUt > overThreshold(a, optimal):
+				reason = model.ReasonOverutilization
+			}
+			if reason == model.ReasonNone {
+				continue
+			}
+			p.Alive = false
+			p.DepartedAt = e.now
+			p.DepartReason = reason
+			e.departuresP = append(e.departuresP, Departure{
+				Time: e.now, ID: p.ID, Reason: reason,
+				Interest: p.InterestClass, Adapt: p.AdaptClass, Cap: p.CapClass,
+			})
+		}
+	}
+	if a.ConsumersMayLeave {
+		kept := e.aliveConsumers[:0]
+		for _, c := range e.aliveConsumers {
+			if c.SmoothSat < c.SmoothAdq-a.ConsumerDissatMargin {
+				c.Alive = false
+				c.DepartedAt = e.now
+				c.DepartReason = model.ReasonDissatisfaction
+				e.departuresC = append(e.departuresC, Departure{
+					Time: e.now, ID: c.ID, Reason: model.ReasonDissatisfaction,
+				})
+				continue
+			}
+			kept = append(kept, c)
+		}
+		e.aliveConsumers = kept
+	}
+}
+
+// overThreshold is the utilization above which a provider flees: 220% of
+// its optimal utilization, floored at OverutilizationFloor (see Autonomy).
+func overThreshold(a Autonomy, optimal float64) float64 {
+	thr := a.OverutilizationFactor * optimal
+	if thr < a.OverutilizationFloor {
+		thr = a.OverutilizationFloor
+	}
+	return thr
+}
+
+func (e *Engine) buildResult() *Result {
+	r := &Result{
+		Method:             e.opts.Strategy.Name(),
+		Seed:               e.opts.Seed,
+		Duration:           e.opts.Duration,
+		Samples:            e.samples,
+		Final:              e.snapshot(),
+		IssuedQueries:      e.issued,
+		CompletedQueries:   e.completed,
+		DroppedQueries:     e.dropped,
+		MaxResponseTime:    e.respMax,
+		ResponseHistogram:  e.respHist,
+		ProviderDepartures: e.departuresP,
+		ConsumerDepartures: e.departuresC,
+		Providers:          len(e.pop.Providers),
+		Consumers:          len(e.pop.Consumers),
+	}
+	if e.respCount > 0 {
+		r.MeanResponseTime = e.respSum / float64(e.respCount)
+	}
+	return r
+}
+
+// ClassTotals counts the providers per level of a class dimension; the
+// denominator of the Table 3 per-class percentages.
+func ClassTotals(pop *model.Population, dim ClassDimension) [3]int {
+	var out [3]int
+	for _, p := range pop.Providers {
+		switch dim {
+		case ByInterest:
+			out[p.InterestClass]++
+		case ByAdaptation:
+			out[p.AdaptClass]++
+		default:
+			out[p.CapClass]++
+		}
+	}
+	return out
+}

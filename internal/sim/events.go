@@ -1,0 +1,57 @@
+// Package sim is the discrete-event simulation substrate the paper's
+// evaluation runs on (Section 6.1): a virtual clock over an event heap,
+// Poisson query arrivals shaped by a workload profile, FIFO provider
+// service queues, periodic §4 metric sampling, and the autonomy machinery
+// (departure rules of Section 6.3.2).
+package sim
+
+import "container/heap"
+
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evCompletion
+	evSample
+	evDepartureCheck
+	evSmooth
+)
+
+// event is one scheduled occurrence. seq breaks time ties FIFO so runs are
+// fully deterministic.
+type event struct {
+	time float64
+	seq  uint64
+	kind eventKind
+	// qid identifies the in-flight query for completion events.
+	qid uint64
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+
+func (h *eventHeap) Push(x any) { *h = append(*h, x.(event)) }
+
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// schedule pushes an event, assigning it the next sequence number.
+func (e *Engine) schedule(t float64, kind eventKind, qid uint64) {
+	e.seq++
+	heap.Push(&e.events, event{time: t, seq: e.seq, kind: kind, qid: qid})
+}

@@ -1,0 +1,209 @@
+package sim
+
+import (
+	"math"
+
+	"sqlb/internal/metrics"
+	"sqlb/internal/model"
+	"sqlb/internal/stats"
+)
+
+// allocSatCap bounds sampled δas values. Definition 3/6 allow [0,∞); a
+// handful of +Inf (satisfaction with zero adequation) would destroy the
+// mean metric, so samples clamp at this cap, far above the plot range of
+// Figures 4(c)/4(e).
+const allocSatCap = 10.0
+
+// Sample is one §4 metric snapshot over the alive participants.
+type Sample struct {
+	// Time is the sim-time of the snapshot; WorkloadFraction the profile
+	// value there.
+	Time             float64
+	WorkloadFraction float64
+
+	// ProvSatIntention summarizes δs(p) fed with intentions — what the
+	// mediator can see (Figure 4(a), 4(d)).
+	ProvSatIntention metrics.Summary
+	// ProvSatPreference summarizes δs(p) fed with private preferences
+	// (Figure 4(b)).
+	ProvSatPreference metrics.Summary
+	// ProvAllocSatPreference summarizes δas(p) on preferences (Fig 4(c)).
+	ProvAllocSatPreference metrics.Summary
+	// ProvAdequationPreference summarizes δa(p) on preferences.
+	ProvAdequationPreference metrics.Summary
+	// ConsSat summarizes δs(c) (intention-based; Figure 4(f)).
+	ConsSat metrics.Summary
+	// ConsAllocSat summarizes δas(c) (Figure 4(e)).
+	ConsAllocSat metrics.Summary
+	// Utilization summarizes Ut(p) (Figures 4(g), 4(h)).
+	Utilization metrics.Summary
+
+	// ResponseTimeMean is the mean response time of queries completed
+	// since the previous sample (0 when none completed).
+	ResponseTimeMean float64
+	// ResponseCount is how many completions that mean covers.
+	ResponseCount int
+
+	// AliveProviders and AliveConsumers count the remaining participants.
+	AliveProviders int
+	AliveConsumers int
+}
+
+// Departure records one participant leaving the system.
+type Departure struct {
+	// Time is when the participant left.
+	Time float64
+	// ID is the participant's population index.
+	ID int
+	// Reason is why it left.
+	Reason model.DepartureReason
+	// Interest, Adapt, Cap are the provider's classes (zero for consumers).
+	Interest model.ClassLevel
+	Adapt    model.ClassLevel
+	Cap      model.ClassLevel
+}
+
+// Result is the outcome of one simulation run.
+type Result struct {
+	// Method is the strategy name.
+	Method string
+	// Seed, Duration echo the options.
+	Seed     uint64
+	Duration float64
+
+	// Samples is the §4 metric time series (empty if sampling disabled).
+	Samples []Sample
+	// Final is the state at the end of the run.
+	Final Sample
+
+	// IssuedQueries counts arrivals, CompletedQueries completions within
+	// the horizon, DroppedQueries arrivals no provider could take.
+	IssuedQueries    uint64
+	CompletedQueries uint64
+	DroppedQueries   uint64
+
+	// MeanResponseTime is over all completed queries (seconds).
+	MeanResponseTime float64
+	// MaxResponseTime is the worst completion (seconds).
+	MaxResponseTime float64
+	// ResponseHistogram holds the full response-time distribution
+	// (p50/p95/p99 via its Quantile method).
+	ResponseHistogram *stats.Histogram
+
+	// ProviderDepartures and ConsumerDepartures list who left and why.
+	ProviderDepartures []Departure
+	ConsumerDepartures []Departure
+
+	// Providers and Consumers are the population sizes (for rates).
+	Providers int
+	Consumers int
+}
+
+// ProviderDepartureRate returns the fraction of providers that left.
+func (r *Result) ProviderDepartureRate() float64 {
+	if r.Providers == 0 {
+		return 0
+	}
+	return float64(len(r.ProviderDepartures)) / float64(r.Providers)
+}
+
+// ConsumerDepartureRate returns the fraction of consumers that left.
+func (r *Result) ConsumerDepartureRate() float64 {
+	if r.Consumers == 0 {
+		return 0
+	}
+	return float64(len(r.ConsumerDepartures)) / float64(r.Consumers)
+}
+
+// DepartureBreakdown is the Table 3 accounting: for one class dimension,
+// the percentage of providers of each class level that left for each
+// reason, plus the overall percentage per reason.
+type DepartureBreakdown struct {
+	// PerClass[reason][level] is the percentage (0-100) of the providers
+	// of that level that left for that reason.
+	PerClass map[model.DepartureReason][3]float64
+	// Total[reason] is the percentage of all providers that left for that
+	// reason.
+	Total map[model.DepartureReason]float64
+}
+
+// ClassDimension selects which provider class dimension a breakdown uses.
+type ClassDimension int
+
+// The three Table 3 dimensions.
+const (
+	ByInterest   ClassDimension = iota // "Cons. Interest to Prov."
+	ByAdaptation                       // "Providers' Adequation"
+	ByCapacity                         // "Providers' Capacity"
+)
+
+// String returns the Table 3 row label.
+func (d ClassDimension) String() string {
+	switch d {
+	case ByInterest:
+		return "Cons. Interest to Prov."
+	case ByAdaptation:
+		return "Providers' Adequation"
+	case ByCapacity:
+		return "Providers' Capacity"
+	}
+	return "unknown"
+}
+
+// ClassDimensions lists the Table 3 dimensions in row order.
+var ClassDimensions = []ClassDimension{ByInterest, ByAdaptation, ByCapacity}
+
+// Breakdown computes the Table 3 departure accounting for one dimension.
+// classTotals gives how many providers of each level exist in the
+// population (needed for per-class percentages).
+func (r *Result) Breakdown(dim ClassDimension, classTotals [3]int) DepartureBreakdown {
+	level := func(d Departure) model.ClassLevel {
+		switch dim {
+		case ByInterest:
+			return d.Interest
+		case ByAdaptation:
+			return d.Adapt
+		default:
+			return d.Cap
+		}
+	}
+	out := DepartureBreakdown{
+		PerClass: map[model.DepartureReason][3]float64{},
+		Total:    map[model.DepartureReason]float64{},
+	}
+	counts := map[model.DepartureReason][3]int{}
+	for _, d := range r.ProviderDepartures {
+		c := counts[d.Reason]
+		c[level(d)]++
+		counts[d.Reason] = c
+	}
+	for _, reason := range model.DepartureReasons {
+		var pct [3]float64
+		total := 0
+		for lvl := 0; lvl < 3; lvl++ {
+			total += counts[reason][lvl]
+			if classTotals[lvl] > 0 {
+				pct[lvl] = 100 * float64(counts[reason][lvl]) / float64(classTotals[lvl])
+			}
+		}
+		out.PerClass[reason] = pct
+		if r.Providers > 0 {
+			out.Total[reason] = 100 * float64(total) / float64(r.Providers)
+		}
+	}
+	return out
+}
+
+// clampAllocSat bounds a δas sample (see allocSatCap).
+func clampAllocSat(v float64) float64 {
+	if math.IsNaN(v) {
+		return 0
+	}
+	if v > allocSatCap {
+		return allocSatCap
+	}
+	if v < 0 {
+		return 0
+	}
+	return v
+}

@@ -1,0 +1,148 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram accumulates positive observations (e.g. response times in
+// seconds) into exponentially-spaced buckets, cheap enough to feed from the
+// simulator's hot path and accurate enough for the p50/p95/p99 quantiles
+// the reports print. The zero value is not usable; call NewHistogram.
+type Histogram struct {
+	min     float64
+	growth  float64
+	lnG     float64
+	buckets []uint64
+	count   uint64
+	sum     float64
+	max     float64
+	under   uint64 // observations below min
+}
+
+// NewHistogram returns a histogram covering [min, min·growth^buckets) with
+// the given number of exponential buckets. Typical simulator use:
+// NewHistogram(0.01, 1.25, 64) spans 10 ms to ≈ 17 minutes.
+func NewHistogram(min, growth float64, buckets int) *Histogram {
+	if min <= 0 {
+		min = 0.001
+	}
+	if growth <= 1 {
+		growth = 1.25
+	}
+	if buckets < 1 {
+		buckets = 64
+	}
+	return &Histogram{
+		min:     min,
+		growth:  growth,
+		lnG:     math.Log(growth),
+		buckets: make([]uint64, buckets),
+	}
+}
+
+// DefaultResponseHistogram covers the response-time range of the paper's
+// experiments (10 ms … ≈28 minutes).
+func DefaultResponseHistogram() *Histogram {
+	return NewHistogram(0.01, 1.25, 64)
+}
+
+// Observe records one observation. Non-positive and NaN observations count
+// into the underflow bucket.
+func (h *Histogram) Observe(v float64) {
+	h.count++
+	if !(v > 0) { // catches NaN too
+		h.under++
+		return
+	}
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+	if v < h.min {
+		h.under++
+		return
+	}
+	idx := int(math.Log(v/h.min) / h.lnG)
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the mean of the positive observations (0 when empty).
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Max returns the largest observation seen.
+func (h *Histogram) Max() float64 { return h.max }
+
+// Quantile returns an estimate of the q-quantile (q ∈ [0,1]) using the
+// upper edge of the bucket containing it — a conservative (pessimistic)
+// estimate appropriate for latency reporting. Returns 0 when empty.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(math.Ceil(q * float64(h.count)))
+	if target == 0 {
+		target = 1
+	}
+	cum := h.under
+	if cum >= target {
+		return h.min
+	}
+	for i, c := range h.buckets {
+		cum += c
+		if cum >= target {
+			return h.min * math.Pow(h.growth, float64(i+1))
+		}
+	}
+	return h.max
+}
+
+// Merge folds another histogram with identical geometry into this one.
+// Histograms with different geometry are rejected.
+func (h *Histogram) Merge(other *Histogram) error {
+	if other == nil {
+		return nil
+	}
+	if h.min != other.min || h.growth != other.growth || len(h.buckets) != len(other.buckets) {
+		return fmt.Errorf("stats: merging histograms with different geometry")
+	}
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.count += other.count
+	h.sum += other.sum
+	h.under += other.under
+	if other.max > h.max {
+		h.max = other.max
+	}
+	return nil
+}
+
+// String summarizes the distribution for reports.
+func (h *Histogram) String() string {
+	if h.count == 0 {
+		return "no observations"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "n=%d mean=%.3fs p50=%.3fs p95=%.3fs p99=%.3fs max=%.3fs",
+		h.count, h.Mean(), h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99), h.max)
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestHistogramBasics(t *testing.T) {
+	h := NewHistogram(0.01, 1.25, 64)
+	if h.Count() != 0 || h.Mean() != 0 || h.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram should report zeros")
+	}
+	for i := 0; i < 100; i++ {
+		h.Observe(1.0)
+	}
+	if h.Count() != 100 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if math.Abs(h.Mean()-1.0) > 1e-9 {
+		t.Errorf("mean = %v", h.Mean())
+	}
+	// Quantiles are conservative (upper bucket edge): within one growth
+	// factor of the true value.
+	q := h.Quantile(0.5)
+	if q < 1.0 || q > 1.3 {
+		t.Errorf("p50 = %v, want within [1, 1.3]", q)
+	}
+	if h.Max() != 1.0 {
+		t.Errorf("max = %v", h.Max())
+	}
+}
+
+func TestHistogramQuantileOrdering(t *testing.T) {
+	h := DefaultResponseHistogram()
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) * 0.01) // 0.01 … 10.0
+	}
+	p50, p95, p99 := h.Quantile(0.5), h.Quantile(0.95), h.Quantile(0.99)
+	if !(p50 <= p95 && p95 <= p99) {
+		t.Fatalf("quantiles out of order: %v %v %v", p50, p95, p99)
+	}
+	// True p50 is 5.0; conservative estimate within a growth factor.
+	if p50 < 5.0 || p50 > 5.0*1.25 {
+		t.Errorf("p50 = %v, want in [5, 6.25]", p50)
+	}
+	if p99 < 9.9 || p99 > 9.9*1.25 {
+		t.Errorf("p99 = %v, want in [9.9, 12.4]", p99)
+	}
+}
+
+func TestHistogramEdges(t *testing.T) {
+	h := NewHistogram(1, 2, 4) // buckets [1,2) [2,4) [4,8) [8,∞-ish)
+	h.Observe(0)               // underflow
+	h.Observe(-5)              // underflow
+	h.Observe(math.NaN())      // underflow
+	h.Observe(0.5)             // below min
+	h.Observe(1e9)             // clamps to last bucket
+	if h.Count() != 5 {
+		t.Errorf("count = %d, want 5", h.Count())
+	}
+	if got := h.Quantile(0.1); got != 1 {
+		t.Errorf("quantile in underflow = %v, want min", got)
+	}
+	if got := h.Quantile(1); got < 8 {
+		t.Errorf("p100 = %v, want the top bucket", got)
+	}
+}
+
+func TestHistogramConstructorGuards(t *testing.T) {
+	h := NewHistogram(-1, 0.5, 0)
+	h.Observe(0.002)
+	if h.Count() != 1 {
+		t.Fatal("guarded histogram should still work")
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a := NewHistogram(0.01, 1.25, 64)
+	b := NewHistogram(0.01, 1.25, 64)
+	for i := 0; i < 50; i++ {
+		a.Observe(1)
+		b.Observe(4)
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	if a.Count() != 100 {
+		t.Errorf("merged count = %d", a.Count())
+	}
+	if math.Abs(a.Mean()-2.5) > 1e-9 {
+		t.Errorf("merged mean = %v, want 2.5", a.Mean())
+	}
+	if a.Max() != 4 {
+		t.Errorf("merged max = %v", a.Max())
+	}
+	if err := a.Merge(NewHistogram(0.02, 1.25, 64)); err == nil {
+		t.Error("merging different geometry must fail")
+	}
+	if err := a.Merge(nil); err != nil {
+		t.Errorf("nil merge should be a no-op: %v", err)
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := DefaultResponseHistogram()
+	if got := h.String(); got != "no observations" {
+		t.Errorf("empty String = %q", got)
+	}
+	h.Observe(1)
+	if got := h.String(); !strings.Contains(got, "n=1") || !strings.Contains(got, "p99") {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestHistogramQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		h := DefaultResponseHistogram()
+		for _, v := range raw {
+			h.Observe(math.Abs(math.Mod(v, 100)))
+		}
+		prev := 0.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			cur := h.Quantile(q)
+			if cur < prev-1e-9 {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogramQuantileBracketsObservationsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		h := DefaultResponseHistogram()
+		maxV := 0.0
+		for _, v := range raw {
+			x := float64(v%1000)/100 + 0.02
+			if x > maxV {
+				maxV = x
+			}
+			h.Observe(x)
+		}
+		// Every quantile estimate lies within the observed range padded by
+		// one growth factor.
+		for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+			est := h.Quantile(q)
+			if est < 0.01 || est > maxV*1.25+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

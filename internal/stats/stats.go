@@ -1,0 +1,234 @@
+// Package stats provides the small reporting substrate of the benchmark
+// harness: named series (one per query-allocation method), charts (one per
+// paper figure), tables (one per paper table), text rendering for the
+// terminal, and CSV output for plotting.
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Point is one (x, y) sample of a series.
+type Point struct {
+	X, Y float64
+}
+
+// Series is a named sequence of points (e.g. one method's curve).
+type Series struct {
+	Name   string
+	Points []Point
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64) {
+	s.Points = append(s.Points, Point{X: x, Y: y})
+}
+
+// Chart is one figure: several series over a shared x-axis.
+type Chart struct {
+	ID     string
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+}
+
+// AddSeries appends a series to the chart.
+func (c *Chart) AddSeries(s Series) {
+	c.Series = append(c.Series, s)
+}
+
+// CSV renders the chart as comma-separated values: a header row with the
+// x-label and series names, then one row per x present in the first series
+// (all series are expected to share the x grid; shorter series leave
+// fields empty).
+func (c *Chart) CSV() string {
+	var b strings.Builder
+	b.WriteString(csvEscape(c.XLabel))
+	for _, s := range c.Series {
+		b.WriteByte(',')
+		b.WriteString(csvEscape(s.Name))
+	}
+	b.WriteByte('\n')
+	rows := 0
+	for _, s := range c.Series {
+		if len(s.Points) > rows {
+			rows = len(s.Points)
+		}
+	}
+	for i := 0; i < rows; i++ {
+		x := ""
+		for _, s := range c.Series {
+			if i < len(s.Points) {
+				x = formatFloat(s.Points[i].X)
+				break
+			}
+		}
+		b.WriteString(x)
+		for _, s := range c.Series {
+			b.WriteByte(',')
+			if i < len(s.Points) {
+				b.WriteString(formatFloat(s.Points[i].Y))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Render prints the chart as an aligned text table for the terminal.
+func (c *Chart) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", c.ID, c.Title)
+	header := append([]string{c.XLabel}, seriesNames(c.Series)...)
+	rows := [][]string{}
+	n := 0
+	for _, s := range c.Series {
+		if len(s.Points) > n {
+			n = len(s.Points)
+		}
+	}
+	for i := 0; i < n; i++ {
+		row := make([]string, 0, len(header))
+		x := ""
+		for _, s := range c.Series {
+			if i < len(s.Points) {
+				x = formatFloat(s.Points[i].X)
+				break
+			}
+		}
+		row = append(row, x)
+		for _, s := range c.Series {
+			if i < len(s.Points) {
+				row = append(row, formatFloat(s.Points[i].Y))
+			} else {
+				row = append(row, "")
+			}
+		}
+		rows = append(rows, row)
+	}
+	b.WriteString(renderAligned(header, rows))
+	return b.String()
+}
+
+// Table is one paper table: a header and string rows.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, t.Header)
+	for _, r := range t.Rows {
+		writeCSVRow(&b, r)
+	}
+	return b.String()
+}
+
+// Render prints the table aligned for the terminal.
+func (t *Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — %s\n", t.ID, t.Title)
+	b.WriteString(renderAligned(t.Header, t.Rows))
+	return b.String()
+}
+
+// MergeMeans averages several runs of the same series pointwise: runs must
+// share the x grid (the engine samples on a fixed interval, so they do).
+// Shorter runs truncate the result to the common length.
+func MergeMeans(name string, runs [][]Point) Series {
+	if len(runs) == 0 {
+		return Series{Name: name}
+	}
+	n := len(runs[0])
+	for _, r := range runs[1:] {
+		if len(r) < n {
+			n = len(r)
+		}
+	}
+	out := Series{Name: name, Points: make([]Point, n)}
+	for i := 0; i < n; i++ {
+		x := runs[0][i].X
+		sum := 0.0
+		for _, r := range runs {
+			sum += r[i].Y
+		}
+		out.Points[i] = Point{X: x, Y: sum / float64(len(runs))}
+	}
+	return out
+}
+
+func seriesNames(ss []Series) []string {
+	out := make([]string, len(ss))
+	for i, s := range ss {
+		out[i] = s.Name
+	}
+	return out
+}
+
+func renderAligned(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, cell := range r {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, cell := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(csvEscape(cell))
+	}
+	b.WriteByte('\n')
+}
+
+func csvEscape(s string) string {
+	if strings.ContainsAny(s, ",\"\n") {
+		return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+	}
+	return s
+}
+
+func formatFloat(v float64) string {
+	return strings.TrimRight(strings.TrimRight(fmt.Sprintf("%.4f", v), "0"), ".")
+}

@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeriesAdd(t *testing.T) {
+	var s Series
+	s.Name = "SQLB"
+	s.Add(1, 0.5)
+	s.Add(2, 0.6)
+	if len(s.Points) != 2 || s.Points[1] != (Point{2, 0.6}) {
+		t.Fatalf("unexpected points %v", s.Points)
+	}
+}
+
+func TestChartCSV(t *testing.T) {
+	c := Chart{ID: "fig", XLabel: "time"}
+	c.AddSeries(Series{Name: "a", Points: []Point{{1, 0.25}, {2, 0.5}}})
+	c.AddSeries(Series{Name: "b", Points: []Point{{1, 1}, {2, 2}}})
+	got := c.CSV()
+	want := "time,a,b\n1,0.25,1\n2,0.5,2\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestChartCSVUnevenSeries(t *testing.T) {
+	c := Chart{XLabel: "x"}
+	c.AddSeries(Series{Name: "long", Points: []Point{{1, 1}, {2, 2}}})
+	c.AddSeries(Series{Name: "short", Points: []Point{{1, 9}}})
+	got := c.CSV()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("expected 3 lines, got %q", got)
+	}
+	if lines[2] != "2,2," {
+		t.Errorf("short series should leave field empty: %q", lines[2])
+	}
+}
+
+func TestChartRenderAligned(t *testing.T) {
+	c := Chart{ID: "fig4a", Title: "Provider satisfaction", XLabel: "t"}
+	c.AddSeries(Series{Name: "SQLB", Points: []Point{{100, 0.75}}})
+	out := c.Render()
+	if !strings.Contains(out, "fig4a") || !strings.Contains(out, "SQLB") {
+		t.Errorf("render missing id or series name:\n%s", out)
+	}
+	if !strings.Contains(out, "0.75") {
+		t.Errorf("render missing value:\n%s", out)
+	}
+}
+
+func TestTableCSVEscaping(t *testing.T) {
+	tbl := Table{Header: []string{"name", "value"}}
+	tbl.AddRow(`with,comma`, `with"quote`)
+	got := tbl.CSV()
+	want := "name,value\n\"with,comma\",\"with\"\"quote\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tbl := Table{ID: "table3", Title: "Departures", Header: []string{"reason", "low", "med", "high"}}
+	tbl.AddRow("dissat", "2%", "9%", "8%")
+	out := tbl.Render()
+	if !strings.Contains(out, "dissat") || !strings.Contains(out, "9%") {
+		t.Errorf("missing cells:\n%s", out)
+	}
+	// Header separator present.
+	if !strings.Contains(out, "---") {
+		t.Errorf("missing separator:\n%s", out)
+	}
+}
+
+func TestMergeMeans(t *testing.T) {
+	runs := [][]Point{
+		{{1, 1}, {2, 2}, {3, 3}},
+		{{1, 3}, {2, 4}}, // shorter run truncates
+	}
+	s := MergeMeans("m", runs)
+	if len(s.Points) != 2 {
+		t.Fatalf("expected truncation to 2 points, got %d", len(s.Points))
+	}
+	if s.Points[0] != (Point{1, 2}) || s.Points[1] != (Point{2, 3}) {
+		t.Errorf("unexpected means %v", s.Points)
+	}
+	if got := MergeMeans("empty", nil); len(got.Points) != 0 {
+		t.Errorf("empty merge should have no points")
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	tests := []struct {
+		in   float64
+		want string
+	}{
+		{1, "1"}, {0.5, "0.5"}, {0.12345, "0.1235"}, {100, "100"}, {0, "0"},
+	}
+	for _, tt := range tests {
+		if got := formatFloat(tt.in); got != tt.want {
+			t.Errorf("formatFloat(%v) = %q, want %q", tt.in, got, tt.want)
+		}
+	}
+}

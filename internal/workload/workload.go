@@ -1,0 +1,98 @@
+// Package workload generates the query workload of the paper's evaluation
+// (Section 6.1): queries arrive in a Poisson process whose rate realizes a
+// target workload expressed as a fraction of the total system capacity;
+// each query belongs to one of the configured classes (130 or 150 treatment
+// units) and is issued by a uniformly chosen alive consumer.
+package workload
+
+import (
+	"sqlb/internal/model"
+	"sqlb/internal/randx"
+)
+
+// Profile maps simulation time to the target workload fraction of total
+// system capacity. The paper uses constant workloads (Figures 4(i), 5, 6,
+// Table 3) and a uniform 30%→100% ramp (Figures 4(a)-(h)).
+type Profile interface {
+	Fraction(t float64) float64
+}
+
+// Constant is a fixed workload fraction.
+type Constant float64
+
+// Fraction implements Profile.
+func (c Constant) Fraction(float64) float64 { return float64(c) }
+
+// Ramp increases the workload linearly from From to To over [0, Duration],
+// holding To afterwards — the Section 6.3.1 "starts with a workload of 30%
+// that uniformly increases up to 100%".
+type Ramp struct {
+	From, To float64
+	Duration float64
+}
+
+// Fraction implements Profile.
+func (r Ramp) Fraction(t float64) float64 {
+	if r.Duration <= 0 || t >= r.Duration {
+		return r.To
+	}
+	if t <= 0 {
+		return r.From
+	}
+	return r.From + (r.To-r.From)*(t/r.Duration)
+}
+
+// ArrivalRate converts a workload fraction into a Poisson arrival rate
+// (queries/second): a workload of x means the offered work equals x times
+// the total system capacity, so λ = x · totalCapacity / E[units per query].
+// The reference capacity is the *initial* total capacity: when providers
+// depart, the offered load stays, which is exactly how departures hurt the
+// remaining system (Section 6.3.2).
+func ArrivalRate(fraction, totalCapacity, meanUnits float64) float64 {
+	if fraction <= 0 || totalCapacity <= 0 || meanUnits <= 0 {
+		return 0
+	}
+	return fraction * totalCapacity / meanUnits
+}
+
+// Generator mints queries: uniform class mix, the configured q.n, unique
+// IDs, issued by the consumer the caller picked.
+type Generator struct {
+	classes []model.QueryClass
+	queryN  int
+	rng     *randx.Rand
+	nextID  uint64
+}
+
+// NewGenerator returns a generator over the given classes with the desired
+// q.n, drawing from rng.
+func NewGenerator(classes []model.QueryClass, queryN int, rng *randx.Rand) *Generator {
+	if queryN < 1 {
+		queryN = 1
+	}
+	return &Generator{classes: classes, queryN: queryN, rng: rng}
+}
+
+// Next mints the next query for consumer c at time now.
+func (g *Generator) Next(now float64, c *model.Consumer) *model.Query {
+	g.nextID++
+	class := 0
+	if len(g.classes) > 1 {
+		class = g.rng.Pick(len(g.classes))
+	}
+	units := 0.0
+	if class < len(g.classes) {
+		units = g.classes[class].Units
+	}
+	return &model.Query{
+		ID:       g.nextID,
+		Consumer: c,
+		Class:    class,
+		Units:    units,
+		N:        g.queryN,
+		IssuedAt: now,
+	}
+}
+
+// Issued returns how many queries have been minted.
+func (g *Generator) Issued() uint64 { return g.nextID }

@@ -1,0 +1,200 @@
+package sqlb_test
+
+import (
+	"testing"
+
+	"sqlb"
+)
+
+// These integration tests assert the paper's qualitative results — the
+// "shapes" of Section 6 — on reduced-scale simulations. They are the
+// regression net for the reproduction itself: a change that makes a
+// baseline beat SQLB on its own turf should fail loudly here.
+
+func captiveRun(t *testing.T, strategy sqlb.Allocator, frac float64, seed uint64) *sqlb.SimResult {
+	t.Helper()
+	opts := sqlb.SimOptions{
+		Config:   sqlb.DefaultConfig().Scale(0.1),
+		Strategy: strategy,
+		Workload: sqlb.ConstantWorkload(frac),
+		Duration: 1500,
+		Seed:     seed,
+	}
+	simu, err := sqlb.NewSimulation(opts)
+	if err != nil {
+		t.Fatalf("NewSimulation: %v", err)
+	}
+	return simu.Run()
+}
+
+func autonomousRun(t *testing.T, strategy sqlb.Allocator, frac float64, seed uint64) *sqlb.SimResult {
+	t.Helper()
+	opts := sqlb.SimOptions{
+		Config:   sqlb.DefaultConfig().Scale(0.1),
+		Strategy: strategy,
+		Workload: sqlb.ConstantWorkload(frac),
+		Duration: 5000,
+		Seed:     seed,
+		Autonomy: sqlb.FullAutonomy(),
+	}
+	simu, err := sqlb.NewSimulation(opts)
+	if err != nil {
+		t.Fatalf("NewSimulation: %v", err)
+	}
+	return simu.Run()
+}
+
+// Figure 4(i): with captive participants, Capacity-based has the best
+// response times; SQLB pays a modest factor; Mariposa-like pays the most.
+func TestReproductionResponseTimeOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	capRes := captiveRun(t, sqlb.NewCapacityBased(), 0.8, 42)
+	sqlbRes := captiveRun(t, sqlb.NewSQLB(), 0.8, 42)
+	marRes := captiveRun(t, sqlb.NewMariposaLike(), 0.8, 42)
+
+	if !(capRes.MeanResponseTime < sqlbRes.MeanResponseTime) {
+		t.Errorf("capacity-based (%.2fs) should beat SQLB (%.2fs) on captive response time",
+			capRes.MeanResponseTime, sqlbRes.MeanResponseTime)
+	}
+	if !(sqlbRes.MeanResponseTime < marRes.MeanResponseTime) {
+		t.Errorf("SQLB (%.2fs) should beat Mariposa-like (%.2fs)",
+			sqlbRes.MeanResponseTime, marRes.MeanResponseTime)
+	}
+	// The paper: SQLB degrades only ≈1.4× vs capacity-based. Allow slack
+	// for the reduced scale, but it must stay within a small factor.
+	if ratio := sqlbRes.MeanResponseTime / capRes.MeanResponseTime; ratio > 3.5 {
+		t.Errorf("SQLB/capacity response ratio = %.2f, want ≲ 3.5 (paper: 1.4)", ratio)
+	}
+}
+
+// Figure 4(e): SQLB is the only method that satisfies consumers (allocation
+// satisfaction > 1); the baselines are neutral (≈ 1).
+func TestReproductionConsumerAllocationSatisfaction(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	sqlbRes := captiveRun(t, sqlb.NewSQLB(), 0.6, 42)
+	capRes := captiveRun(t, sqlb.NewCapacityBased(), 0.6, 42)
+	marRes := captiveRun(t, sqlb.NewMariposaLike(), 0.6, 42)
+
+	if got := sqlbRes.Final.ConsAllocSat.Mean; got <= 1.02 {
+		t.Errorf("SQLB consumer δas = %.3f, want > 1", got)
+	}
+	for _, res := range []*sqlb.SimResult{capRes, marRes} {
+		if got := res.Final.ConsAllocSat.Mean; got > 1.05 {
+			t.Errorf("%s consumer δas = %.3f, want ≈ 1 (neutral)", res.Method, got)
+		}
+	}
+	if sqlbRes.Final.ConsAllocSat.Mean <= capRes.Final.ConsAllocSat.Mean {
+		t.Error("SQLB should satisfy consumers strictly better than capacity-based")
+	}
+}
+
+// Figure 4(g)/(h): Capacity-based balances best; Mariposa-like worst.
+func TestReproductionLoadBalanceOrdering(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	capRes := captiveRun(t, sqlb.NewCapacityBased(), 0.8, 42)
+	sqlbRes := captiveRun(t, sqlb.NewSQLB(), 0.8, 42)
+	marRes := captiveRun(t, sqlb.NewMariposaLike(), 0.8, 42)
+
+	if capRes.Final.Utilization.Fairness < 0.97 {
+		t.Errorf("capacity-based utilization fairness = %.3f, want ≈ 1", capRes.Final.Utilization.Fairness)
+	}
+	if !(capRes.Final.Utilization.Fairness >= sqlbRes.Final.Utilization.Fairness) {
+		t.Error("capacity-based should balance at least as well as SQLB")
+	}
+	if !(sqlbRes.Final.Utilization.Fairness > marRes.Final.Utilization.Fairness) {
+		t.Errorf("SQLB (f=%.3f) should balance better than Mariposa-like (f=%.3f)",
+			sqlbRes.Final.Utilization.Fairness, marRes.Final.Utilization.Fairness)
+	}
+}
+
+// Figure 4(h) note: SQLB has difficulty being fair below 40% workload and
+// becomes fairer as the workload grows — its adaptability signature.
+func TestReproductionSQLBFairnessImprovesWithLoad(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	low := captiveRun(t, sqlb.NewSQLB(), 0.3, 42)
+	high := captiveRun(t, sqlb.NewSQLB(), 0.9, 42)
+	if !(high.Final.Utilization.Fairness > low.Final.Utilization.Fairness) {
+		t.Errorf("SQLB fairness should improve with load: %.3f at 30%% vs %.3f at 90%%",
+			low.Final.Utilization.Fairness, high.Final.Utilization.Fairness)
+	}
+}
+
+// Figures 5(c)/6 and Table 3 at 80% workload.
+func TestReproductionAutonomyHeadline(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	seeds := []uint64{7, 99}
+	for _, seed := range seeds {
+		sqlbRes := autonomousRun(t, sqlb.NewSQLB(), 0.8, seed)
+		capRes := autonomousRun(t, sqlb.NewCapacityBased(), 0.8, seed)
+		marRes := autonomousRun(t, sqlb.NewMariposaLike(), 0.8, seed)
+
+		// SQLB retains most providers; baselines lose far more.
+		if got := sqlbRes.ProviderDepartureRate(); got > 0.5 {
+			t.Errorf("seed %d: SQLB lost %.0f%% of providers, want ≲ 50%% (paper ≈ 28%%)", seed, 100*got)
+		}
+		if capRes.ProviderDepartureRate() <= sqlbRes.ProviderDepartureRate() {
+			t.Errorf("seed %d: capacity-based should lose more providers than SQLB", seed)
+		}
+		if marRes.ProviderDepartureRate() <= sqlbRes.ProviderDepartureRate() {
+			t.Errorf("seed %d: Mariposa-like should lose more providers than SQLB", seed)
+		}
+
+		// SQLB loses no consumers.
+		if got := sqlbRes.ConsumerDepartureRate(); got != 0 {
+			t.Errorf("seed %d: SQLB lost %.0f%% of consumers, want 0", seed, 100*got)
+		}
+
+		// Reason mixes: Mariposa-like overutilization-heavy relative to
+		// SQLB, whose departures are dissatisfaction/starvation.
+		count := func(res *sqlb.SimResult, reason sqlb.DepartureReason) int {
+			n := 0
+			for _, d := range res.ProviderDepartures {
+				if d.Reason == reason {
+					n++
+				}
+			}
+			return n
+		}
+		if over := count(sqlbRes, sqlb.ReasonOverutilization); over > len(sqlbRes.ProviderDepartures)/2 {
+			t.Errorf("seed %d: SQLB departures should not be overutilization-dominated (%d of %d)",
+				seed, over, len(sqlbRes.ProviderDepartures))
+		}
+		if len(marRes.ProviderDepartures) > 0 {
+			over := count(marRes, sqlb.ReasonOverutilization)
+			dis := count(marRes, sqlb.ReasonDissatisfaction)
+			if over == 0 && dis == 0 {
+				t.Errorf("seed %d: Mariposa-like lost providers for unexpected reasons", seed)
+			}
+		}
+	}
+}
+
+// The engine end-to-end is deterministic: two identical configurations
+// replay departures event-for-event.
+func TestReproductionDeterministicDepartures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration")
+	}
+	a := autonomousRun(t, sqlb.NewSQLB(), 0.8, 5)
+	b := autonomousRun(t, sqlb.NewSQLB(), 0.8, 5)
+	if len(a.ProviderDepartures) != len(b.ProviderDepartures) {
+		t.Fatalf("departure counts diverged: %d vs %d",
+			len(a.ProviderDepartures), len(b.ProviderDepartures))
+	}
+	for i := range a.ProviderDepartures {
+		da, db := a.ProviderDepartures[i], b.ProviderDepartures[i]
+		if da != db {
+			t.Fatalf("departure %d diverged: %+v vs %+v", i, da, db)
+		}
+	}
+}
