@@ -1,0 +1,34 @@
+# SQLB reproduction — build, test, and benchmark targets.
+
+GO ?= go
+
+# BENCH selects the regression benchmark set: the Rank/Select hot-path
+# micro-benchmarks and the serial-vs-parallel Lab runs. Override with
+# `make bench BENCH=.` for the full suite.
+BENCH ?= BenchmarkRank|BenchmarkSelectTopN|BenchmarkLab|BenchmarkMediatorAllocate
+
+.PHONY: all build test race vet bench clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race covers the packages with real concurrency: the parallel experiment
+# Lab, the simulation engine it fans out, and the mediator server.
+race:
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/mediator/...
+
+vet:
+	$(GO) vet ./...
+
+# bench writes BENCH_results.json (ns/op plus reported metrics) so future
+# PRs have a perf trajectory to compare against.
+bench:
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . | $(GO) run ./tools/benchjson -out BENCH_results.json
+
+clean:
+	rm -f BENCH_results.json

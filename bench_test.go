@@ -10,6 +10,7 @@
 package sqlb_test
 
 import (
+	"runtime"
 	"testing"
 
 	"sqlb"
@@ -210,6 +211,56 @@ func BenchmarkRank100(b *testing.B) { benchRank(b, 100) }
 
 func BenchmarkRank400(b *testing.B) { benchRank(b, 400) }
 
+// benchRankTop measures the partial ranking of the allocation hot path:
+// only the q.n best of |Pq| providers are materialized. Compare against
+// BenchmarkRank400 (the full-sort ranking) for the top-n win.
+func benchRankTop(b *testing.B, total, n int) {
+	rng := randx.New(3)
+	pi := make([]float64, total)
+	ci := make([]float64, total)
+	om := make([]float64, total)
+	for i := range pi {
+		pi[i] = rng.Uniform(-1, 1)
+		ci[i] = rng.Uniform(-1, 1)
+		om[i] = rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.RankTop(n, pi, ci, om, 1)
+	}
+}
+
+func BenchmarkRankTop400n4(b *testing.B) { benchRankTop(b, 400, 4) }
+
+func BenchmarkRankTop400n32(b *testing.B) { benchRankTop(b, 400, 32) }
+
+func BenchmarkRankTop100n4(b *testing.B) { benchRankTop(b, 100, 4) }
+
+// benchSelectTopN isolates the selection helper itself (no Definition 9
+// scoring): bounded heap at n ≪ total vs the full-sort fallback at
+// n = total over the same keys.
+func benchSelectTopN(b *testing.B, total, n int) {
+	rng := randx.New(6)
+	vals := make([]float64, total)
+	for i := range vals {
+		vals[i] = rng.Float64()
+	}
+	less := func(x, y int) bool {
+		if vals[x] != vals[y] {
+			return vals[x] > vals[y]
+		}
+		return x < y
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		core.SelectTopN(total, n, less)
+	}
+}
+
+func BenchmarkSelectTopN400n4(b *testing.B) { benchSelectTopN(b, 400, 4) }
+
+func BenchmarkSelectTopN400Full(b *testing.B) { benchSelectTopN(b, 400, 400) }
+
 func BenchmarkFairness400(b *testing.B) {
 	rng := randx.New(4)
 	vs := make([]float64, 400)
@@ -261,6 +312,30 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 		b.ReportMetric(float64(res.IssuedQueries), "queries/run")
 	}
 }
+
+// --- serial vs parallel Lab ---
+
+// benchLab runs the Figure 5(c) full-autonomy sweep (2 workloads × 3
+// methods × 4 repeats = 24 simulations) on a fresh Lab per iteration with
+// the given worker budget. BenchmarkLabSerial vs BenchmarkLabParallel is
+// the wall-clock speedup of the parallel experiment pipeline; both produce
+// byte-identical artifacts (see experiments.TestParallelLabDeterminism).
+func benchLab(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		cfg := benchConfig()
+		cfg.Repeats = 4
+		cfg.Workers = workers
+		lab := experiments.NewLab(cfg)
+		if _, err := lab.Run("fig5c"); err != nil {
+			b.Fatalf("fig5c: %v", err)
+		}
+	}
+}
+
+func BenchmarkLabSerial(b *testing.B) { benchLab(b, 1) }
+
+func BenchmarkLabParallel(b *testing.B) { benchLab(b, runtime.GOMAXPROCS(0)) }
 
 // --- ablation benchmarks (DESIGN.md §4) ---
 

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	sqlb-experiments [-run id[,id...]] [-scale f] [-duration s] [-sweep s]
-//	                 [-repeats n] [-seed n] [-workloads csv] [-out dir] [-list]
+//	                 [-repeats n] [-seed n] [-workers n] [-workloads csv]
+//	                 [-out dir] [-list]
 //
 // The paper's full scale is -scale 1 -duration 10000 -sweep 10000
 // -repeats 10; the defaults reproduce the same shapes at laptop cost.
@@ -31,6 +32,7 @@ func main() {
 		sweepDur  = flag.Float64("sweep", 5000, "per-workload run horizon (sim-seconds)")
 		repeats   = flag.Int("repeats", 2, "repetitions per configuration (paper: 10)")
 		seed      = flag.Uint64("seed", 1, "base seed")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS; output is identical at any value)")
 		workloads = flag.String("workloads", "", "comma-separated workload fractions (default 0.2..1.0)")
 		outDir    = flag.String("out", "", "directory for CSV output (omit to skip)")
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
@@ -53,6 +55,7 @@ func main() {
 		SweepDuration: *sweepDur,
 		Repeats:       *repeats,
 		BaseSeed:      *seed,
+		Workers:       *workers,
 	}
 	if *workloads != "" {
 		for _, part := range strings.Split(*workloads, ",") {

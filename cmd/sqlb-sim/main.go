@@ -2,10 +2,15 @@
 // prints the §4 metric summary, response times, and (under autonomy) the
 // departure accounting.
 //
+// With -repeats > 1 the repetitions run concurrently over a bounded worker
+// pool (repetition r uses seed+r) and the summary reports per-run and
+// averaged headline metrics; the run order never affects the numbers.
+//
 // Usage:
 //
 //	sqlb-sim [-method sqlb|capacity|mariposa|random|knbest|sqlb-econ]
 //	         [-workload f] [-ramp] [-duration s] [-scale f] [-seed n]
+//	         [-repeats n] [-workers n]
 //	         [-autonomy off|dissat-starve|full] [-csv file]
 package main
 
@@ -13,7 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"sqlb/internal/allocator"
 	"sqlb/internal/model"
@@ -29,15 +36,19 @@ func main() {
 		ramp     = flag.Bool("ramp", false, "ramp workload 30%→100% over the run (Figure 4 setting)")
 		duration = flag.Float64("duration", 2500, "simulated seconds")
 		scale    = flag.Float64("scale", 0.25, "population scale relative to the paper's 200/400")
-		seed     = flag.Uint64("seed", 42, "run seed")
+		seed     = flag.Uint64("seed", 42, "run seed (repetition r uses seed+r)")
+		repeats  = flag.Int("repeats", 1, "repetitions to run and average (paper: 10)")
+		workers  = flag.Int("workers", 0, "concurrent repetitions (0 = GOMAXPROCS)")
 		autonomy = flag.String("autonomy", "off", "departures: off, dissat-starve, full")
-		csvPath  = flag.String("csv", "", "write the sampled time series as CSV")
+		csvPath  = flag.String("csv", "", "write the first repetition's sampled time series as CSV")
 	)
 	flag.Parse()
 
-	strategy, err := strategyFor(*method, *seed)
-	if err != nil {
-		fatal("%v", err)
+	if *repeats < 1 {
+		*repeats = 1
+	}
+	if *workers <= 0 {
+		*workers = runtime.GOMAXPROCS(0)
 	}
 	var profile workload.Profile = workload.Constant(*frac)
 	if *ramp {
@@ -54,20 +65,67 @@ func main() {
 		fatal("unknown -autonomy %q", *autonomy)
 	}
 
-	opts := sim.Options{
-		Config:         model.DefaultConfig().Scale(*scale),
-		Strategy:       strategy,
-		Workload:       profile,
-		Duration:       *duration,
-		Seed:           *seed,
-		SampleInterval: *duration / 50,
-		Autonomy:       auto,
+	// Fan the repetitions out over the worker budget. Each repetition gets
+	// its own strategy instance and seed, so results[r] is the same whether
+	// the runs happen serially or concurrently.
+	results := make([]*sim.Result, *repeats)
+	errs := make([]error, *repeats)
+	sem := make(chan struct{}, *workers)
+	var wg sync.WaitGroup
+	for r := 0; r < *repeats; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			repSeed := *seed + uint64(r)
+			strategy, err := strategyFor(*method, repSeed)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			opts := sim.Options{
+				Config:         model.DefaultConfig().Scale(*scale),
+				Strategy:       strategy,
+				Workload:       profile,
+				Duration:       *duration,
+				Seed:           repSeed,
+				SampleInterval: *duration / 50,
+				Autonomy:       auto,
+			}
+			eng, err := sim.New(opts)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			results[r] = eng.Run()
+		}()
 	}
-	eng, err := sim.New(opts)
-	if err != nil {
-		fatal("%v", err)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			fatal("%v", err)
+		}
 	}
-	res := eng.Run()
+
+	res := results[0]
+	if *repeats > 1 {
+		fmt.Printf("repetitions       %d (seeds %d..%d, %d workers)\n",
+			*repeats, *seed, *seed+uint64(*repeats-1), *workers)
+		var resp, p95, loss float64
+		for r, rr := range results {
+			fmt.Printf("  run %-3d seed %-6d resp mean %.2fs p95 %.2fs  prov departures %.0f%%\n",
+				r, rr.Seed, rr.MeanResponseTime, rr.ResponseHistogram.Quantile(0.95),
+				100*rr.ProviderDepartureRate())
+			resp += rr.MeanResponseTime
+			p95 += rr.ResponseHistogram.Quantile(0.95)
+			loss += 100 * rr.ProviderDepartureRate()
+		}
+		n := float64(*repeats)
+		fmt.Printf("  average          resp mean %.2fs p95 %.2fs  prov departures %.0f%%\n",
+			resp/n, p95/n, loss/n)
+		fmt.Printf("first repetition follows:\n")
+	}
 
 	fmt.Printf("method            %s\n", res.Method)
 	fmt.Printf("duration          %.0f sim-seconds (seed %d)\n", res.Duration, res.Seed)

@@ -1,0 +1,3 @@
+module sqlb
+
+go 1.24

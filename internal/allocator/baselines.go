@@ -1,8 +1,7 @@
 package allocator
 
 import (
-	"sort"
-
+	"sqlb/internal/core"
 	"sqlb/internal/randx"
 )
 
@@ -21,25 +20,19 @@ func (*CapacityBased) Name() string { return "Capacity based" }
 
 // Allocate implements Allocator.
 func (*CapacityBased) Allocate(req *Request) []int {
-	type cand struct {
-		idx  int
-		util float64
-		cap  float64
-	}
-	cands := make([]cand, len(req.Pq))
+	utils := make([]float64, len(req.Pq))
 	for i, p := range req.Pq {
-		cands[i] = cand{idx: i, util: p.Utilization(req.Now), cap: p.Capacity}
+		utils[i] = p.Utilization(req.Now)
 	}
-	sort.SliceStable(cands, func(a, b int) bool {
-		if cands[a].util != cands[b].util {
-			return cands[a].util < cands[b].util
+	return core.SelectTopN(len(req.Pq), req.N(), func(a, b int) bool {
+		if utils[a] != utils[b] {
+			return utils[a] < utils[b]
 		}
-		if cands[a].cap != cands[b].cap {
-			return cands[a].cap > cands[b].cap
+		if req.Pq[a].Capacity != req.Pq[b].Capacity {
+			return req.Pq[a].Capacity > req.Pq[b].Capacity
 		}
-		return cands[a].idx < cands[b].idx
+		return a < b
 	})
-	return take(cands, req.N(), func(c cand) int { return c.idx })
 }
 
 // MariposaLike is the economic baseline of Section 6.2.2, modelled on
@@ -91,11 +84,7 @@ func (m *MariposaLike) Allocate(req *Request) []int {
 	if horizon <= 0 {
 		horizon = 60
 	}
-	type cand struct {
-		idx int
-		bid float64
-	}
-	cands := make([]cand, len(req.Pq))
+	bids := make([]float64, len(req.Pq))
 	for i, p := range req.Pq {
 		pref := p.Preference(req.Query.Class)
 		load := p.Utilization(req.Now)
@@ -105,15 +94,14 @@ func (m *MariposaLike) Allocate(req *Request) []int {
 		if load < minLoad {
 			load = minLoad
 		}
-		cands[i] = cand{idx: i, bid: m.Bid(pref) * load}
+		bids[i] = m.Bid(pref) * load
 	}
-	sort.SliceStable(cands, func(a, b int) bool {
-		if cands[a].bid != cands[b].bid {
-			return cands[a].bid < cands[b].bid
+	return core.SelectTopN(len(req.Pq), req.N(), func(a, b int) bool {
+		if bids[a] != bids[b] {
+			return bids[a] < bids[b]
 		}
-		return cands[a].idx < cands[b].idx
+		return a < b
 	})
-	return take(cands, req.N(), func(c cand) int { return c.idx })
 }
 
 // Random allocates uniformly at random; a control strategy for tests and
@@ -133,15 +121,4 @@ func (r *Random) Allocate(req *Request) []int {
 	n := req.N()
 	perm := r.rng.Perm(len(req.Pq))
 	return perm[:n]
-}
-
-func take[T any](cands []T, n int, idx func(T) int) []int {
-	if n > len(cands) {
-		n = len(cands)
-	}
-	out := make([]int, n)
-	for i := 0; i < n; i++ {
-		out[i] = idx(cands[i])
-	}
-	return out
 }

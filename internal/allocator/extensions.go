@@ -1,8 +1,6 @@
 package allocator
 
 import (
-	"sort"
-
 	"sqlb/internal/core"
 )
 
@@ -40,23 +38,23 @@ func (k *KnBest) Allocate(req *Request) []int {
 		}
 		omegas[i] = core.Omega(req.ConsumerSat, sat)
 	}
-	ranking := core.Rank(req.PI, req.CI, omegas, k.Epsilon)
+	// Only the k·n score survivors are materialized; the load round then
+	// picks the n least loaded among them.
 	kn := n * factor
-	if kn > len(ranking) {
-		kn = len(ranking)
+	short := core.RankTop(kn, req.PI, req.CI, omegas, k.Epsilon)
+	loads := make([]float64, len(short))
+	for i, r := range short {
+		loads[i] = req.Pq[r.Index].OperationalLoad(req.Now)
 	}
-	short := append([]core.Ranked(nil), ranking[:kn]...)
-	sort.SliceStable(short, func(a, b int) bool {
-		ua := req.Pq[short[a].Index].OperationalLoad(req.Now)
-		ub := req.Pq[short[b].Index].OperationalLoad(req.Now)
-		if ua != ub {
-			return ua < ub
+	picked := core.SelectTopN(len(short), n, func(a, b int) bool {
+		if loads[a] != loads[b] {
+			return loads[a] < loads[b]
 		}
 		return short[a].Index < short[b].Index
 	})
-	out := make([]int, 0, n)
-	for i := 0; i < n && i < len(short); i++ {
-		out = append(out, short[i].Index)
+	out := make([]int, len(picked))
+	for i, p := range picked {
+		out[i] = short[p].Index
 	}
 	return out
 }
@@ -78,11 +76,7 @@ func (*SQLBEconomic) Name() string { return "SQLB-econ" }
 
 // Allocate implements Allocator.
 func (*SQLBEconomic) Allocate(req *Request) []int {
-	type cand struct {
-		idx   int
-		value float64
-	}
-	cands := make([]cand, len(req.Pq))
+	values := make([]float64, len(req.Pq))
 	for i := range req.Pq {
 		sat := 0.0
 		if i < len(req.ProviderSat) {
@@ -96,13 +90,12 @@ func (*SQLBEconomic) Allocate(req *Request) []int {
 		if i < len(req.CI) {
 			ci = req.CI[i]
 		}
-		cands[i] = cand{idx: i, value: omega*pi + (1-omega)*ci}
+		values[i] = omega*pi + (1-omega)*ci
 	}
-	sort.SliceStable(cands, func(a, b int) bool {
-		if cands[a].value != cands[b].value {
-			return cands[a].value > cands[b].value
+	return core.SelectTopN(len(req.Pq), req.N(), func(a, b int) bool {
+		if values[a] != values[b] {
+			return values[a] > values[b]
 		}
-		return cands[a].idx < cands[b].idx
+		return a < b
 	})
-	return take(cands, req.N(), func(c cand) int { return c.idx })
 }

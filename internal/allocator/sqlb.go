@@ -36,7 +36,8 @@ func (s *SQLB) Name() string {
 
 // Allocate implements Allocator with the scoring/ranking/selection steps of
 // Algorithm 1 (the intention collection, lines 2-5, happens in the mediator
-// before this call).
+// before this call). Only the q.n best-ranked providers are materialized
+// (core.RankTop) — the full R⃗_q is never built on this hot path.
 func (s *SQLB) Allocate(req *Request) []int {
 	omegas := make([]float64, len(req.Pq))
 	for i := range omegas {
@@ -50,6 +51,6 @@ func (s *SQLB) Allocate(req *Request) []int {
 			omegas[i] = core.Omega(req.ConsumerSat, sat)
 		}
 	}
-	ranking := core.Rank(req.PI, req.CI, omegas, s.Epsilon)
+	ranking := core.RankTop(req.N(), req.PI, req.CI, omegas, s.Epsilon)
 	return core.Select(req.N(), ranking)
 }

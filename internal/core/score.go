@@ -13,7 +13,6 @@ package core
 
 import (
 	"math"
-	"sort"
 )
 
 // DefaultEpsilon is ε of Definition 9 ("usually set to 1").
@@ -64,23 +63,37 @@ type Ranked struct {
 // index so rankings are deterministic. pi, ci and omegas must have equal
 // length; entries beyond the shortest are ignored defensively.
 func Rank(pi, ci, omegas []float64, epsilon float64) []Ranked {
-	n := len(pi)
-	if len(ci) < n {
-		n = len(ci)
+	return RankTop(len(pi), pi, ci, omegas, epsilon)
+}
+
+// RankTop returns only the n best entries of R⃗_q, best first, without
+// materializing the full sort: scores are computed for every provider but
+// the ordering work is delegated to SelectTopN's bounded heap, the win on
+// the mediation hot path where q.n ≪ |Pq|. n ≥ |Pq| degrades to the full
+// ranking (identical to Rank). Ties break on the lower index exactly as in
+// Rank, so RankTop(n, …) is always a prefix of Rank(…).
+func RankTop(n int, pi, ci, omegas []float64, epsilon float64) []Ranked {
+	total := len(pi)
+	if len(ci) < total {
+		total = len(ci)
 	}
-	if len(omegas) < n {
-		n = len(omegas)
+	if len(omegas) < total {
+		total = len(omegas)
 	}
-	ranking := make([]Ranked, n)
-	for i := 0; i < n; i++ {
-		ranking[i] = Ranked{Index: i, Score: Score(pi[i], ci[i], omegas[i], epsilon)}
+	scores := make([]float64, total)
+	for i := 0; i < total; i++ {
+		scores[i] = Score(pi[i], ci[i], omegas[i], epsilon)
 	}
-	sort.SliceStable(ranking, func(a, b int) bool {
-		if ranking[a].Score != ranking[b].Score {
-			return ranking[a].Score > ranking[b].Score
+	idx := SelectTopN(total, n, func(a, b int) bool {
+		if scores[a] != scores[b] {
+			return scores[a] > scores[b]
 		}
-		return ranking[a].Index < ranking[b].Index
+		return a < b
 	})
+	ranking := make([]Ranked, len(idx))
+	for i, j := range idx {
+		ranking[i] = Ranked{Index: j, Score: scores[j]}
+	}
 	return ranking
 }
 

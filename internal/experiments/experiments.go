@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 
@@ -44,6 +45,12 @@ type Config struct {
 	// Workloads are the swept workload fractions. Default 0.2 … 1.0 in
 	// steps of 0.2.
 	Workloads []float64
+	// Workers bounds how many simulations run concurrently. Repetitions
+	// and sweep points fan out over this budget; every run's RNG stream is
+	// derived from BaseSeed alone, so any Workers value produces
+	// byte-identical tables and figures. Default runtime.GOMAXPROCS(0);
+	// 1 recovers fully serial execution.
+	Workers int
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -70,6 +77,9 @@ func (c Config) withDefaults() Config {
 	}
 	if len(c.Workloads) == 0 {
 		c.Workloads = []float64{0.2, 0.4, 0.6, 0.8, 1.0}
+	}
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
 	}
 	return c
 }
@@ -128,21 +138,44 @@ type sweepRun struct {
 	Totals map[sim.ClassDimension][3]int
 }
 
-// Lab owns the memoized simulation bundles for one configuration.
+// rampCell and sweepCell memoize one simulation bundle. The sync.Once
+// guarantees the bundle's repetitions run exactly once even when several
+// experiments (or prewarm goroutines) request it concurrently; everyone
+// else blocks on the Do and reads the settled result.
+type rampCell struct {
+	once sync.Once
+	rs   []*sim.Result
+	err  error
+}
+
+type sweepCell struct {
+	once sync.Once
+	rs   []sweepRun
+	err  error
+}
+
+// Lab owns the memoized simulation bundles for one configuration. All of
+// its methods are safe for concurrent use; simulations fan out over a
+// bounded worker budget (Config.Workers) and remain byte-for-byte
+// deterministic because every run's seed depends only on BaseSeed and the
+// run's identity, never on scheduling order.
 type Lab struct {
 	cfg Config
+	sem chan struct{} // bounds the number of concurrently running simulations
 
 	mu    sync.Mutex
-	ramps map[string][]*sim.Result          // method → repeats
-	sweep map[string]map[float64][]sweepRun // kind/method → workload → repeats
+	ramps map[string]*rampCell  // method → repeats bundle
+	sweep map[string]*sweepCell // kind/method/workload → repeats bundle
 }
 
 // NewLab returns a lab for the configuration (defaults applied).
 func NewLab(cfg Config) *Lab {
+	cfg = cfg.withDefaults()
 	return &Lab{
-		cfg:   cfg.withDefaults(),
-		ramps: map[string][]*sim.Result{},
-		sweep: map[string]map[float64][]sweepRun{},
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.Workers),
+		ramps: map[string]*rampCell{},
+		sweep: map[string]*sweepCell{},
 	}
 }
 
@@ -193,30 +226,41 @@ func (l *Lab) seedFor(kind string, method string, workloadPct int, repeat int) u
 
 // rampResults runs (or returns memoized) Figure 4 ramp simulations for one
 // method: workload 30% → 100% over the duration, captive participants.
+// Repetitions fan out over the worker budget; rs[rep] is written by
+// repetition index so the bundle is identical at any Workers value.
 func (l *Lab) rampResults(method allocator.Allocator) ([]*sim.Result, error) {
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if rs, ok := l.ramps[method.Name()]; ok {
-		return rs, nil
+	cell, ok := l.ramps[method.Name()]
+	if !ok {
+		cell = &rampCell{}
+		l.ramps[method.Name()] = cell
 	}
-	var rs []*sim.Result
-	for rep := 0; rep < l.cfg.Repeats; rep++ {
-		opts := sim.Options{
-			Config:         model.DefaultConfig().Scale(l.cfg.Scale),
-			Strategy:       method,
-			Workload:       workload.Ramp{From: 0.3, To: 1.0, Duration: l.cfg.Duration},
-			Duration:       l.cfg.Duration,
-			Seed:           l.seedFor("ramp", method.Name(), 0, rep),
-			SampleInterval: l.cfg.SampleInterval,
-		}
-		eng, err := sim.New(opts)
+	l.mu.Unlock()
+	cell.once.Do(func() {
+		rs := make([]*sim.Result, l.cfg.Repeats)
+		err := l.fanOut(l.cfg.Repeats, func(rep int) error {
+			opts := sim.Options{
+				Config:         model.DefaultConfig().Scale(l.cfg.Scale),
+				Strategy:       method,
+				Workload:       workload.Ramp{From: 0.3, To: 1.0, Duration: l.cfg.Duration},
+				Duration:       l.cfg.Duration,
+				Seed:           l.seedFor("ramp", method.Name(), 0, rep),
+				SampleInterval: l.cfg.SampleInterval,
+			}
+			eng, err := sim.New(opts)
+			if err != nil {
+				return err
+			}
+			rs[rep] = eng.Run()
+			return nil
+		})
 		if err != nil {
-			return nil, err
+			cell.err = err
+			return
 		}
-		rs = append(rs, eng.Run())
-	}
-	l.ramps[method.Name()] = rs
-	return rs, nil
+		cell.rs = rs
+	})
+	return cell.rs, cell.err
 }
 
 // sweepKind selects the autonomy setting of a workload sweep.
@@ -241,48 +285,60 @@ func (k sweepKind) autonomy() sim.Autonomy {
 
 // sweepResults runs (or returns memoized) constant-workload simulations,
 // capturing each run's class totals for the Table 3 breakdowns.
+// Repetitions fan out over the worker budget exactly as in rampResults.
 func (l *Lab) sweepResults(kind sweepKind, method allocator.Allocator, frac float64) ([]sweepRun, error) {
-	key := string(kind) + "/" + method.Name()
+	// The key carries the exact fraction (not a rounded percent) so two
+	// workloads that round alike never share a bundle.
+	key := fmt.Sprintf("%s/%s/%v", kind, method.Name(), frac)
 	l.mu.Lock()
-	defer l.mu.Unlock()
-	if byW, ok := l.sweep[key]; ok {
-		if rs, ok := byW[frac]; ok {
-			return rs, nil
-		}
-	} else {
-		l.sweep[key] = map[float64][]sweepRun{}
+	cell, ok := l.sweep[key]
+	if !ok {
+		cell = &sweepCell{}
+		l.sweep[key] = cell
 	}
-	var rs []sweepRun
-	for rep := 0; rep < l.cfg.Repeats; rep++ {
-		opts := sim.Options{
-			Config:   model.DefaultConfig().Scale(l.cfg.Scale),
-			Strategy: method,
-			Workload: workload.Constant(frac),
-			Duration: l.cfg.SweepDuration,
-			Seed:     l.seedFor(string(kind), method.Name(), int(frac*100+0.5), rep),
-			Autonomy: kind.autonomy(),
-		}
-		eng, err := sim.New(opts)
+	l.mu.Unlock()
+	cell.once.Do(func() {
+		rs := make([]sweepRun, l.cfg.Repeats)
+		err := l.fanOut(l.cfg.Repeats, func(rep int) error {
+			opts := sim.Options{
+				Config:   model.DefaultConfig().Scale(l.cfg.Scale),
+				Strategy: method,
+				Workload: workload.Constant(frac),
+				Duration: l.cfg.SweepDuration,
+				Seed:     l.seedFor(string(kind), method.Name(), int(frac*100+0.5), rep),
+				Autonomy: kind.autonomy(),
+			}
+			eng, err := sim.New(opts)
+			if err != nil {
+				return err
+			}
+			totals := map[sim.ClassDimension][3]int{}
+			for _, dim := range sim.ClassDimensions {
+				totals[dim] = sim.ClassTotals(eng.Population(), dim)
+			}
+			rs[rep] = sweepRun{Res: eng.Run(), Totals: totals}
+			return nil
+		})
 		if err != nil {
-			return nil, err
+			cell.err = err
+			return
 		}
-		totals := map[sim.ClassDimension][3]int{}
-		for _, dim := range sim.ClassDimensions {
-			totals[dim] = sim.ClassTotals(eng.Population(), dim)
-		}
-		rs = append(rs, sweepRun{Res: eng.Run(), Totals: totals})
-	}
-	l.sweep[key][frac] = rs
-	return rs, nil
+		cell.rs = rs
+	})
+	return cell.rs, cell.err
 }
 
-// sweepChart builds a workload-sweep chart from a per-run metric.
+// sweepChart builds a workload-sweep chart from a per-run metric. All
+// (method, workload) bundles are prewarmed concurrently; the assembly
+// below then reads settled memo cells in a fixed order, so the chart is
+// identical at any Workers value.
 func (l *Lab) sweepChart(id, title, ylabel string, kind sweepKind, metric func(*sim.Result) float64) (*Result, error) {
 	chart := &stats.Chart{ID: id, Title: title, XLabel: "workload (% of total system capacity)", YLabel: ylabel}
+	fracs := append([]float64(nil), l.cfg.Workloads...)
+	sort.Float64s(fracs)
+	l.warmSweep(kind, methods(), fracs)
 	for _, m := range methods() {
 		s := stats.Series{Name: m.Name()}
-		fracs := append([]float64(nil), l.cfg.Workloads...)
-		sort.Float64s(fracs)
 		for _, frac := range fracs {
 			rs, err := l.sweepResults(kind, m, frac)
 			if err != nil {

@@ -64,7 +64,10 @@ func (l *Lab) extensionRun(strategy allocator.Allocator, rep int, mutate func(*m
 	return eng.Run(), nil
 }
 
-// extensionTable builds a comparison table over named variants.
+// extensionTable builds a comparison table over named variants. The whole
+// (variant, repetition) grid fans out over the worker budget; aggregation
+// then walks the index-addressed results in a fixed order, keeping the
+// table deterministic.
 func (l *Lab) extensionTable(id, title string, variants []struct {
 	name     string
 	strategy allocator.Allocator
@@ -78,13 +81,24 @@ func (l *Lab) extensionTable(id, title string, variants []struct {
 			"resp_mean_s", "resp_p95_s", "cons_allocsat", "prov_sat_pref",
 		},
 	}
-	for _, v := range variants {
+	reps := l.cfg.Repeats
+	results := make([]*sim.Result, len(variants)*reps)
+	err := l.fanOut(len(results), func(i int) error {
+		v := variants[i/reps]
+		res, err := l.extensionRun(v.strategy, i%reps, v.mutate)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
 		var provLoss, consLoss, resp, p95, cas, psp float64
-		for rep := 0; rep < l.cfg.Repeats; rep++ {
-			res, err := l.extensionRun(v.strategy, rep, v.mutate)
-			if err != nil {
-				return nil, err
-			}
+		for rep := 0; rep < reps; rep++ {
+			res := results[vi*reps+rep]
 			provLoss += 100 * res.ProviderDepartureRate()
 			consLoss += 100 * res.ConsumerDepartureRate()
 			resp += res.MeanResponseTime
@@ -92,7 +106,7 @@ func (l *Lab) extensionTable(id, title string, variants []struct {
 			cas += res.Final.ConsAllocSat.Mean
 			psp += res.Final.ProvSatPreference.Mean
 		}
-		n := float64(l.cfg.Repeats)
+		n := float64(reps)
 		tbl.AddRow(v.name,
 			fmt.Sprintf("%.0f%%", provLoss/n),
 			fmt.Sprintf("%.0f%%", consLoss/n),

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"sync"
+
+	"sqlb/internal/allocator"
+)
+
+// fanOut runs fn(0) … fn(n-1) concurrently, each holding one slot of the
+// lab's worker budget while it runs, and returns the lowest-index error.
+// Callers write results into index-addressed slots, so the outcome is
+// independent of scheduling order — the property the determinism tests
+// pin down. Only leaf work (a single simulation run) holds a slot; the
+// goroutines that fan bundles out never do, so nested fan-outs (sweep
+// points over repetitions) cannot deadlock the budget.
+func (l *Lab) fanOut(n int, fn func(i int) error) error {
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.sem <- struct{}{}
+			defer func() { <-l.sem }()
+			errs[i] = fn(i)
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// warmSweep fires every (method, workload) sweep bundle of a chart
+// concurrently so their repetitions interleave across the worker budget,
+// instead of draining one bundle before the next starts. Errors are left
+// in the memo cells; the serial assembly pass that follows surfaces them
+// in deterministic order.
+func (l *Lab) warmSweep(kind sweepKind, ms []allocator.Allocator, fracs []float64) {
+	var wg sync.WaitGroup
+	for _, m := range ms {
+		for _, frac := range fracs {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				l.sweepResults(kind, m, frac) //nolint:errcheck // memoized; re-surfaced by assembly
+			}()
+		}
+	}
+	wg.Wait()
+}
+
+// warmRamps fires every method's Figure 4 ramp bundle concurrently.
+func (l *Lab) warmRamps(ms []allocator.Allocator) {
+	var wg sync.WaitGroup
+	for _, m := range ms {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			l.rampResults(m) //nolint:errcheck // memoized; re-surfaced by assembly
+		}()
+	}
+	wg.Wait()
+}

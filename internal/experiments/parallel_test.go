@@ -1,0 +1,104 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// artifactSnapshot runs a representative slice of the suite — ramp panels,
+// a captive sweep, the full-autonomy sweep, Table 3, and an extension
+// table — and returns every produced CSV keyed by artifact ID.
+func artifactSnapshot(t *testing.T, workers int) map[string]string {
+	t.Helper()
+	lab := NewLab(Config{
+		Scale:          0.05,
+		Duration:       400,
+		SweepDuration:  700,
+		Repeats:        4,
+		BaseSeed:       11,
+		SampleInterval: 50,
+		Workloads:      []float64{0.4, 0.8},
+		Workers:        workers,
+	})
+	out := map[string]string{}
+	for _, id := range []string{"fig4a", "fig4g", "fig4i", "fig5c", "table3", "ext-omega"} {
+		res, err := lab.RunAny(id)
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		for _, c := range res.Charts {
+			out[c.ID] = c.CSV()
+		}
+		for _, tbl := range res.Tables {
+			out[tbl.ID] = tbl.CSV()
+		}
+	}
+	return out
+}
+
+// TestParallelLabDeterminism is the tentpole's contract: the same BaseSeed
+// must yield byte-identical experiment artifacts no matter how many
+// workers the Lab fans out over.
+func TestParallelLabDeterminism(t *testing.T) {
+	serial := artifactSnapshot(t, 1)
+	parallel := artifactSnapshot(t, 8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("artifact counts differ: %d serial vs %d parallel", len(serial), len(parallel))
+	}
+	for id, csv := range serial {
+		if parallel[id] != csv {
+			t.Errorf("%s: Workers=8 CSV differs from Workers=1", id)
+		}
+	}
+}
+
+// TestWorkersDefault: an unset Workers resolves to a positive bound and a
+// matching semaphore, and an explicit value is respected.
+func TestWorkersDefault(t *testing.T) {
+	lab := NewLab(Config{})
+	if lab.cfg.Workers < 1 {
+		t.Errorf("default Workers = %d, want >= 1", lab.cfg.Workers)
+	}
+	if cap(lab.sem) != lab.cfg.Workers {
+		t.Errorf("semaphore capacity %d != Workers %d", cap(lab.sem), lab.cfg.Workers)
+	}
+	if got := NewLab(Config{Workers: 3}).Config().Workers; got != 3 {
+		t.Errorf("explicit Workers = %d, want 3", got)
+	}
+}
+
+// TestParallelLabSharesBundles: concurrent panels still hit the memoized
+// bundles — the Figure 4 panels must not re-run their ramps when requested
+// again, whatever the worker count.
+func TestParallelLabSharesBundles(t *testing.T) {
+	lab := NewLab(Config{
+		Scale:          0.05,
+		Duration:       300,
+		SweepDuration:  300,
+		Repeats:        2,
+		BaseSeed:       3,
+		SampleInterval: 50,
+		Workloads:      []float64{0.4},
+		Workers:        4,
+	})
+	if _, err := lab.Run("fig4a"); err != nil {
+		t.Fatalf("fig4a: %v", err)
+	}
+	if got := len(lab.ramps); got != 3 {
+		t.Fatalf("ramp bundle count = %d, want 3", got)
+	}
+	cells := make(map[string]*rampCell, len(lab.ramps))
+	for k, v := range lab.ramps {
+		cells[k] = v
+	}
+	if _, err := lab.Run("fig4g"); err != nil {
+		t.Fatalf("fig4g: %v", err)
+	}
+	if got := len(lab.ramps); got != 3 {
+		t.Fatalf("fig4g created new ramp bundles: %d", got)
+	}
+	for k, v := range lab.ramps {
+		if cells[k] != v {
+			t.Errorf("bundle %q was rebuilt", k)
+		}
+	}
+}

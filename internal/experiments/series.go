@@ -72,6 +72,7 @@ func figure4(id string) func(*Lab) (*Result, error) {
 			XLabel: "time (seconds)",
 			YLabel: panel.ylabel,
 		}
+		l.warmRamps(methods())
 		for _, m := range methods() {
 			rs, err := l.rampResults(m)
 			if err != nil {

@@ -26,6 +26,8 @@ func runTable3(l *Lab) (*Result, error) {
 		Header: []string{"method", "reason", "dimension", "low", "med", "high", "total"},
 	}
 
+	l.warmSweep(sweepFullAutonomy, methods(), []float64{table3Workload})
+
 	// Class totals differ per run (each run draws its own population), so
 	// breakdowns are computed per run against its own totals, then
 	// averaged across the repeats.

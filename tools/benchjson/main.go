@@ -1,0 +1,132 @@
+// Command benchjson converts `go test -bench` output on stdin into a JSON
+// regression record. `make bench` pipes the benchmark suite through it to
+// produce BENCH_results.json, giving future PRs a perf trajectory to diff
+// against:
+//
+//	go test -run '^$' -bench ... | go run ./tools/benchjson -out BENCH_results.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed result line. Extra metrics reported via
+// b.ReportMetric (unit → value) ride along in Metrics.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Metrics    map[string]float64 `json:"metrics,omitempty"`
+}
+
+// Report is the whole BENCH_results.json document.
+type Report struct {
+	GoVersion  string      `json:"go_version"`
+	GOOS       string      `json:"goos"`
+	GOARCH     string      `json:"goarch"`
+	CPUs       int         `json:"cpus"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_results.json", "output file")
+	flag.Parse()
+
+	report := Report{
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+	}
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Println(line) // stay transparent: the human-readable output passes through
+		if b, ok := parseLine(line); ok {
+			report.Benchmarks = append(report.Benchmarks, b)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: read: %v\n", err)
+		os.Exit(1)
+	}
+	if len(report.Benchmarks) == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
+		os.Exit(1)
+	}
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+}
+
+// trimProcSuffix strips the trailing "-<GOMAXPROCS>" go test appends to
+// benchmark names, so records diff cleanly across machines.
+func trimProcSuffix(name string) string {
+	i := strings.LastIndexByte(name, '-')
+	if i <= 0 || i == len(name)-1 {
+		return name
+	}
+	for _, ch := range name[i+1:] {
+		if ch < '0' || ch > '9' {
+			return name
+		}
+	}
+	return name[:i]
+}
+
+// parseLine parses one benchmark result line, e.g.
+//
+//	BenchmarkRankTop400n4-8   123456   9876 ns/op   12 extra-metric   3 B/op
+//
+// Lines that do not start with "Benchmark" (headers, PASS, ok) are skipped.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:       trimProcSuffix(fields[0]),
+		Iterations: iters,
+	}
+	// The remainder alternates value/unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			continue
+		}
+		unit := fields[i+1]
+		if unit == "ns/op" {
+			b.NsPerOp = v
+			continue
+		}
+		if b.Metrics == nil {
+			b.Metrics = map[string]float64{}
+		}
+		b.Metrics[unit] = v
+	}
+	if b.NsPerOp == 0 && b.Metrics == nil {
+		return Benchmark{}, false
+	}
+	return b, true
+}
