@@ -2,14 +2,14 @@
 
 GO ?= go
 
-# BENCH selects the regression benchmark set: the Rank/Select hot-path
-# micro-benchmarks and the serial-vs-parallel Lab runs. Override with
-# `make bench BENCH=.` for the full suite.
-BENCH ?= BenchmarkRank|BenchmarkSelectTopN|BenchmarkLab|BenchmarkMediatorAllocate
+# BENCH selects the regression benchmark set: the Rank/Select and
+# matchmaking hot-path micro-benchmarks and the serial-vs-parallel Lab
+# runs. Override with `make bench BENCH=.` for the full suite.
+BENCH ?= BenchmarkRank|BenchmarkSelectTopN|BenchmarkLab|BenchmarkMediatorAllocate|BenchmarkMatchmaking
 
-.PHONY: all build test race vet bench clean
+.PHONY: all build test race vet fmt-check bench clean
 
-all: vet build test
+all: vet fmt-check build test
 
 build:
 	$(GO) build ./...
@@ -20,10 +20,14 @@ test:
 # race covers the packages with real concurrency: the parallel experiment
 # Lab, the simulation engine it fans out, and the mediator server.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/mediator/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/mediator/... ./internal/matchmaking/...
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails if any file needs gofmt — the godoc/format gate CI runs.
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # bench writes BENCH_results.json (ns/op plus reported metrics) so future
 # PRs have a perf trajectory to compare against.

@@ -281,6 +281,71 @@ func BenchmarkProviderTrackerRecord(b *testing.B) {
 	}
 }
 
+// --- matchmaking: indexed posting-list lookup vs naive population scan ---
+
+// matchPop builds a |P|-provider population over nClasses classes at the
+// given capability selectivity.
+func matchPop(b *testing.B, providers, nClasses int, selectivity float64) *sqlb.Population {
+	b.Helper()
+	cfg := sqlb.DefaultConfig().WithClasses(nClasses)
+	cfg.Consumers = 2
+	cfg.Providers = providers
+	cfg.CapabilitySelectivity = selectivity
+	return sqlb.NewPopulation(cfg, 7)
+}
+
+// benchMatch measures one matchmaking step per iteration, rotating the
+// query class so every posting list is exercised.
+func benchMatch(b *testing.B, m sqlb.Matchmaker, pop *sqlb.Population, nClasses int) {
+	b.Helper()
+	q := &model.Query{ID: 1, Consumer: pop.Consumers[0], Units: 130, N: 1}
+	b.ResetTimer()
+	total := 0
+	for i := 0; i < b.N; i++ {
+		q.Class = i % nClasses
+		total += len(m.Match(q, pop))
+	}
+	b.ReportMetric(float64(total)/float64(b.N), "Pq-size")
+}
+
+// BenchmarkMatchmakingScan1000 vs BenchmarkMatchmakingIndexed1000 is the
+// tentpole's perf criterion: at |P| = 1000 and 10% selectivity the indexed
+// O(|Pq|) lookup must beat the naive O(|P|) predicate scan.
+func BenchmarkMatchmakingScan1000(b *testing.B) {
+	pop := matchPop(b, 1000, 10, 0.1)
+	benchMatch(b, sqlb.ByCapability(), pop, 10)
+}
+
+func BenchmarkMatchmakingIndexed1000(b *testing.B) {
+	pop := matchPop(b, 1000, 10, 0.1)
+	benchMatch(b, sqlb.BuildMatchIndex(pop), pop, 10)
+}
+
+// The homogeneous pair shows the win persists even with all-capable
+// providers (no per-query alive-list rebuild).
+func BenchmarkMatchmakingScanHomogeneous(b *testing.B) {
+	pop := matchPop(b, 1000, 2, 0)
+	benchMatch(b, sqlb.ByCapability(), pop, 2)
+}
+
+func BenchmarkMatchmakingIndexedHomogeneous(b *testing.B) {
+	pop := matchPop(b, 1000, 2, 0)
+	benchMatch(b, sqlb.BuildMatchIndex(pop), pop, 2)
+}
+
+// BenchmarkMatchmakingChurn measures incremental maintenance: one Remove +
+// Add round-trip per iteration on a 1000-provider index.
+func BenchmarkMatchmakingChurn(b *testing.B) {
+	pop := matchPop(b, 1000, 10, 0.1)
+	ix := sqlb.BuildMatchIndex(pop)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p := pop.Providers[i%1000]
+		ix.Remove(p)
+		ix.Add(p)
+	}
+}
+
 func BenchmarkMediatorAllocate(b *testing.B) {
 	cfg := model.DefaultConfig() // full 400-provider Pq, the paper's hot path
 	pop := sqlb.NewPopulation(cfg, 9)

@@ -6,10 +6,14 @@
 //
 //	sqlb-experiments [-run id[,id...]] [-scale f] [-duration s] [-sweep s]
 //	                 [-repeats n] [-seed n] [-workers n] [-workloads csv]
-//	                 [-out dir] [-list]
+//	                 [-classes k] [-selectivity s] [-class-skew z]
+//	                 [-selectivities csv] [-out dir] [-list]
 //
 // The paper's full scale is -scale 1 -duration 10000 -sweep 10000
 // -repeats 10; the defaults reproduce the same shapes at laptop cost.
+// -classes/-selectivity/-class-skew switch every run to a heterogeneous
+// capability workload (see the ext-selectivity experiment for the swept
+// version).
 package main
 
 import (
@@ -36,6 +40,10 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload fractions (default 0.2..1.0)")
 		outDir    = flag.String("out", "", "directory for CSV output (omit to skip)")
 		list      = flag.Bool("list", false, "list experiment IDs and exit")
+		classes   = flag.Int("classes", 0, "query classes spread over 130-150 units (0 = the paper's two)")
+		select_   = flag.Float64("selectivity", 0, "fraction of classes each provider advertises (0 or 1 = all)")
+		skew      = flag.Float64("class-skew", 0, "Zipf exponent of query-class popularity (0 = uniform)")
+		sels      = flag.String("selectivities", "", "comma-separated selectivities for ext-selectivity (default 0.125,0.25,0.5,0.75,1)")
 	)
 	flag.Parse()
 
@@ -56,16 +64,12 @@ func main() {
 		Repeats:       *repeats,
 		BaseSeed:      *seed,
 		Workers:       *workers,
+		Classes:       *classes,
+		Selectivity:   *select_,
+		ClassSkew:     *skew,
 	}
-	if *workloads != "" {
-		for _, part := range strings.Split(*workloads, ",") {
-			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
-			if err != nil {
-				fatal("bad -workloads value %q: %v", part, err)
-			}
-			cfg.Workloads = append(cfg.Workloads, f)
-		}
-	}
+	cfg.Workloads = parseFloats(*workloads, "-workloads")
+	cfg.Selectivities = parseFloats(*sels, "-selectivities")
 	lab := experiments.NewLab(cfg)
 
 	ids := make([]string, 0, len(experiments.Registry))
@@ -99,6 +103,23 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// parseFloats parses a comma-separated float list; an empty flag yields
+// nil (keep the lab defaults).
+func parseFloats(csv, flagName string) []float64 {
+	if csv == "" {
+		return nil
+	}
+	var out []float64
+	for _, part := range strings.Split(csv, ",") {
+		f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			fatal("bad %s value %q: %v", flagName, part, err)
+		}
+		out = append(out, f)
+	}
+	return out
 }
 
 func writeCSV(dir, id, content string) {

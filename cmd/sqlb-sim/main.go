@@ -6,11 +6,18 @@
 // pool (repetition r uses seed+r) and the summary reports per-run and
 // averaged headline metrics; the run order never affects the numbers.
 //
+// Heterogeneous workloads: -classes k spreads k query classes over the
+// paper's 130-150 treatment-unit band, -selectivity s makes each provider
+// advertise s·k of them (matchmade through the capability index), and
+// -class-skew z draws query classes with Zipf(z) popularity. Queries whose
+// class no provider advertises are counted as dropped.
+//
 // Usage:
 //
 //	sqlb-sim [-method sqlb|capacity|mariposa|random|knbest|sqlb-econ]
 //	         [-workload f] [-ramp] [-duration s] [-scale f] [-seed n]
 //	         [-repeats n] [-workers n]
+//	         [-classes k] [-selectivity s] [-class-skew z]
 //	         [-autonomy off|dissat-starve|full] [-csv file]
 package main
 
@@ -41,6 +48,9 @@ func main() {
 		workers  = flag.Int("workers", 0, "concurrent repetitions (0 = GOMAXPROCS)")
 		autonomy = flag.String("autonomy", "off", "departures: off, dissat-starve, full")
 		csvPath  = flag.String("csv", "", "write the first repetition's sampled time series as CSV")
+		classes  = flag.Int("classes", 0, "query classes spread over 130-150 units (0 = the paper's two)")
+		select_  = flag.Float64("selectivity", 0, "fraction of classes each provider advertises (0 or 1 = all, the paper's setup)")
+		skew     = flag.Float64("class-skew", 0, "Zipf exponent of query-class popularity (0 = uniform)")
 	)
 	flag.Parse()
 
@@ -84,8 +94,11 @@ func main() {
 				errs[r] = err
 				return
 			}
+			cfg := model.DefaultConfig().Scale(*scale).WithClasses(*classes)
+			cfg.CapabilitySelectivity = *select_
+			cfg.ClassSkew = *skew
 			opts := sim.Options{
-				Config:         model.DefaultConfig().Scale(*scale),
+				Config:         cfg,
 				Strategy:       strategy,
 				Workload:       profile,
 				Duration:       *duration,
@@ -105,6 +118,11 @@ func main() {
 	for _, err := range errs {
 		if err != nil {
 			fatal("%v", err)
+		}
+	}
+	for _, rr := range results {
+		if rr.Err != nil {
+			fatal("mediation error: %v", rr.Err)
 		}
 	}
 
@@ -130,6 +148,10 @@ func main() {
 	fmt.Printf("method            %s\n", res.Method)
 	fmt.Printf("duration          %.0f sim-seconds (seed %d)\n", res.Duration, res.Seed)
 	fmt.Printf("population        %d consumers, %d providers\n", res.Consumers, res.Providers)
+	if *classes > 1 || (*select_ > 0 && *select_ < 1) || *skew > 0 {
+		fmt.Printf("capabilities      %d classes, selectivity %.2f, class skew %.2f\n",
+			max(*classes, 2), *select_, *skew)
+	}
 	fmt.Printf("queries           issued %d, completed %d, dropped %d\n",
 		res.IssuedQueries, res.CompletedQueries, res.DroppedQueries)
 	fmt.Printf("response time     mean %.2fs, p50 %.2fs, p95 %.2fs, p99 %.2fs, max %.2fs\n",

@@ -51,6 +51,24 @@ type Config struct {
 	// byte-identical tables and figures. Default runtime.GOMAXPROCS(0);
 	// 1 recovers fully serial execution.
 	Workers int
+
+	// Classes overrides the workload's query-class count (model.Config.
+	// WithClasses); 0 keeps the paper's two classes (130/150 units).
+	Classes int
+	// Selectivity sets model.Config.CapabilitySelectivity for every run:
+	// s ∈ (0,1) makes providers advertise capability subsets. 0 (default)
+	// keeps the paper's all-capable providers.
+	Selectivity float64
+	// ClassSkew sets model.Config.ClassSkew (Zipf-like class popularity);
+	// 0 keeps the uniform mix.
+	ClassSkew float64
+	// Selectivities are the capability selectivities swept by the
+	// ext-selectivity experiment. Default 0.125, 0.25, 0.5, 0.75, 1.0 —
+	// exact multiples of 1/8 so each point maps to a distinct
+	// classes-advertised count under the sweep's 8 classes (a provider
+	// advertises max(1, round(s·classes)) classes, so finer-grained
+	// values can round to the same effective configuration).
+	Selectivities []float64
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -80,6 +98,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Workers <= 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if len(c.Selectivities) == 0 {
+		c.Selectivities = []float64{0.125, 0.25, 0.5, 0.75, 1.0}
 	}
 	return c
 }
@@ -213,6 +234,24 @@ func methods() []allocator.Allocator {
 	}
 }
 
+// modelConfig returns the per-run population configuration: the Table 2
+// setup at the lab's scale, with the heterogeneous-workload overrides
+// (Classes, Selectivity, ClassSkew) applied. With the defaults it is
+// byte-identical to the paper's setup.
+func (l *Lab) modelConfig() model.Config {
+	cfg := model.DefaultConfig().Scale(l.cfg.Scale)
+	if l.cfg.Classes > 1 {
+		cfg = cfg.WithClasses(l.cfg.Classes)
+	}
+	if l.cfg.Selectivity > 0 {
+		cfg.CapabilitySelectivity = l.cfg.Selectivity
+	}
+	if l.cfg.ClassSkew > 0 {
+		cfg.ClassSkew = l.cfg.ClassSkew
+	}
+	return cfg
+}
+
 // seedFor derives a deterministic per-run seed.
 func (l *Lab) seedFor(kind string, method string, workloadPct int, repeat int) uint64 {
 	h := l.cfg.BaseSeed
@@ -240,7 +279,7 @@ func (l *Lab) rampResults(method allocator.Allocator) ([]*sim.Result, error) {
 		rs := make([]*sim.Result, l.cfg.Repeats)
 		err := l.fanOut(l.cfg.Repeats, func(rep int) error {
 			opts := sim.Options{
-				Config:         model.DefaultConfig().Scale(l.cfg.Scale),
+				Config:         l.modelConfig(),
 				Strategy:       method,
 				Workload:       workload.Ramp{From: 0.3, To: 1.0, Duration: l.cfg.Duration},
 				Duration:       l.cfg.Duration,
@@ -252,6 +291,9 @@ func (l *Lab) rampResults(method allocator.Allocator) ([]*sim.Result, error) {
 				return err
 			}
 			rs[rep] = eng.Run()
+			if rs[rep].Err != nil {
+				return fmt.Errorf("ramp %s rep %d: %w", method.Name(), rep, rs[rep].Err)
+			}
 			return nil
 		})
 		if err != nil {
@@ -301,7 +343,7 @@ func (l *Lab) sweepResults(kind sweepKind, method allocator.Allocator, frac floa
 		rs := make([]sweepRun, l.cfg.Repeats)
 		err := l.fanOut(l.cfg.Repeats, func(rep int) error {
 			opts := sim.Options{
-				Config:   model.DefaultConfig().Scale(l.cfg.Scale),
+				Config:   l.modelConfig(),
 				Strategy: method,
 				Workload: workload.Constant(frac),
 				Duration: l.cfg.SweepDuration,
@@ -317,6 +359,9 @@ func (l *Lab) sweepResults(kind sweepKind, method allocator.Allocator, frac floa
 				totals[dim] = sim.ClassTotals(eng.Population(), dim)
 			}
 			rs[rep] = sweepRun{Res: eng.Run(), Totals: totals}
+			if rs[rep].Res.Err != nil {
+				return fmt.Errorf("%s %s %v rep %d: %w", kind, method.Name(), frac, rep, rs[rep].Res.Err)
+			}
 			return nil
 		})
 		if err != nil {

@@ -18,6 +18,7 @@ var ExtensionRegistry = []Spec{
 	{"ext-omega", "Ablation: adaptive ω (Eq 6) vs fixed ω", runExtOmega},
 	{"ext-upsilon", "Ablation: consumer υ (preferences vs reputation)", runExtUpsilon},
 	{"ext-methods", "Extension strategies vs SQLB (KnBest, SQLB-econ)", runExtMethods},
+	{"ext-selectivity", "Capability-selectivity sweep (heterogeneous matchmaking)", runExtSelectivity},
 }
 
 // FindAny looks an experiment up in both registries.
@@ -45,7 +46,7 @@ func (l *Lab) RunAny(id string) (*Result, error) {
 // extensionRun executes one full-autonomy run at the Table 3 reference
 // workload with an arbitrary strategy and config mutation.
 func (l *Lab) extensionRun(strategy allocator.Allocator, rep int, mutate func(*model.Config)) (*sim.Result, error) {
-	cfg := model.DefaultConfig().Scale(l.cfg.Scale)
+	cfg := l.modelConfig()
 	if mutate != nil {
 		mutate(&cfg)
 	}
@@ -61,7 +62,11 @@ func (l *Lab) extensionRun(strategy allocator.Allocator, rep int, mutate func(*m
 	if err != nil {
 		return nil, err
 	}
-	return eng.Run(), nil
+	res := eng.Run()
+	if res.Err != nil {
+		return nil, fmt.Errorf("extension %s rep %d: %w", strategy.Name(), rep, res.Err)
+	}
+	return res, nil
 }
 
 // extensionTable builds a comparison table over named variants. The whole

@@ -1,0 +1,117 @@
+package matchmaking
+
+import (
+	"testing"
+
+	"sqlb/internal/mediator"
+	"sqlb/internal/model"
+	"sqlb/internal/randx"
+)
+
+// TestIndexEquivalentToNaiveScanUnderChurn is the tentpole's soundness and
+// completeness contract: across randomized populations, capability
+// selectivities, class skews, and churn sequences (announced departures,
+// unannounced failures, re-registrations), the indexed matchmaker must
+// return exactly the same Pq — same providers, same order — as the naive
+// full-population predicate scan (mediator.ByCapability).
+func TestIndexEquivalentToNaiveScanUnderChurn(t *testing.T) {
+	oracle := mediator.ByCapability()
+	rng := randx.New(20260729)
+
+	check := func(trial int, ix *Index, pop *model.Population, nClasses int) {
+		t.Helper()
+		for c := 0; c < nClasses; c++ {
+			q := &model.Query{Class: c}
+			want := oracle.Match(q, pop)
+			got := ix.Lookup(c)
+			if len(got) != len(want) {
+				t.Fatalf("trial %d class %d: index |Pq| = %d, scan %d", trial, c, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("trial %d class %d pos %d: index provider %d, scan provider %d",
+						trial, c, i, got[i].ID, want[i].ID)
+				}
+			}
+		}
+	}
+
+	for trial := 0; trial < 60; trial++ {
+		nClasses := 1 + rng.Pick(12)
+		nProviders := 1 + rng.Pick(60)
+		cfg := model.DefaultConfig().WithClasses(nClasses)
+		cfg.Consumers = 1
+		cfg.Providers = nProviders
+		cfg.CapabilitySelectivity = rng.Float64() // 0..1: homogeneous through heavy specialism
+		cfg.GeneralistShare = rng.Float64() * 0.5
+		cfg.ClassSkew = rng.Float64() * 2
+		pop := model.NewPopulation(cfg, randx.New(uint64(trial)+1), 0)
+		ix := BuildIndex(pop)
+		check(trial, ix, pop, nClasses)
+
+		// Churn: a random sequence of announced departures, unannounced
+		// failures, and re-registrations, with equivalence re-checked
+		// after every step.
+		for step := 0; step < 30; step++ {
+			p := pop.Providers[rng.Pick(nProviders)]
+			switch rng.Pick(3) {
+			case 0: // announced departure (engine path: flag + Remove)
+				p.Alive = false
+				ix.Remove(p)
+			case 1: // unannounced failure (lazy-prune path)
+				p.Alive = false
+			case 2: // re-registration
+				p.Alive = true
+				ix.Add(p)
+			}
+			check(trial, ix, pop, nClasses)
+		}
+	}
+}
+
+// TestIndexEquivalenceWithHandEditedCapabilities covers capability sets
+// that the population builder never produces: empty sets, single-class
+// specialists, and sets edited after the index was built (rebuilt via
+// Remove/Add around the edit, the documented protocol).
+func TestIndexEquivalenceWithHandEditedCapabilities(t *testing.T) {
+	oracle := mediator.ByCapability()
+	nClasses := 5
+	cfg := model.DefaultConfig().WithClasses(nClasses)
+	cfg.Consumers = 1
+	cfg.Providers = 12
+	pop := model.NewPopulation(cfg, randx.New(4), 0)
+
+	// Hand-edit before building: provider 0 serves nothing, provider 1
+	// serves only class 4, the rest stay generalists.
+	pop.Providers[0].SetCapabilities(nil, nClasses)
+	pop.Providers[1].SetCapabilities([]int{4}, nClasses)
+	ix := BuildIndex(pop)
+
+	for c := 0; c < nClasses; c++ {
+		q := &model.Query{Class: c}
+		want := oracle.Match(q, pop)
+		got := ix.Lookup(c)
+		if len(got) != len(want) {
+			t.Fatalf("class %d: index |Pq| = %d, scan %d", c, len(got), len(want))
+		}
+	}
+
+	// Edit after build, with the Remove→edit→Add protocol.
+	p := pop.Providers[3]
+	ix.Remove(p)
+	p.SetCapabilities([]int{0, 2}, nClasses)
+	ix.Add(p)
+	for c := 0; c < nClasses; c++ {
+		q := &model.Query{Class: c}
+		want := oracle.Match(q, pop)
+		got := ix.Lookup(c)
+		if len(got) != len(want) {
+			t.Fatalf("after edit, class %d: index |Pq| = %d, scan %d", c, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("after edit, class %d pos %d differs", c, i)
+			}
+		}
+	}
+}

@@ -15,16 +15,22 @@ import (
 	"sqlb/internal/model"
 )
 
-// ErrNoProviders reports a query for which matchmaking found no provider.
-// The paper only considers feasible queries; the simulator treats this as a
-// system-drained condition rather than a bug.
+// ErrNoProviders reports a query for which matchmaking found no provider
+// (Pq = ∅). The paper only considers feasible queries; the simulator
+// counts such a query as dropped — match with errors.Is, since Allocate
+// wraps it with the query ID. Under heterogeneous capabilities this is a
+// normal outcome (a class every specialist skipped), not a bug.
 var ErrNoProviders = errors.New("mediator: no provider can treat the query")
 
-// Matchmaker finds the set Pq of providers able to treat a query. The
-// paper assumes a sound and complete matchmaking procedure (Section 2,
-// refs [11,14]) and, in the experiments, that every provider can perform
-// every query.
+// Matchmaker finds the set Pq of providers able to treat a query (line 1
+// of Algorithm 1). The paper assumes a sound and complete matchmaking
+// procedure (Section 2, refs [11,14]) and, in the experiments, that every
+// provider can perform every query. Implementations must return Pq in
+// ascending provider-ID order so allocation tie-breaks — and therefore
+// whole simulations — do not depend on which matchmaker produced the set.
 type Matchmaker interface {
+	// Match returns the alive providers able to treat q, in ascending ID
+	// order.
 	Match(q *model.Query, pop *model.Population) []*model.Provider
 }
 
@@ -55,11 +61,28 @@ func (m CapabilityMatcher) Match(q *model.Query, pop *model.Population) []*model
 	return out
 }
 
+// ByCapability returns the naive sound-and-complete matchmaker over the
+// providers' advertised capability sets (model.Provider.CanServe): a full
+// O(|P|) population scan per query. It is the reference the indexed
+// matchmaker (internal/matchmaking) is property-tested against, and the
+// baseline its benchmarks beat.
+func ByCapability() CapabilityMatcher {
+	return CapabilityMatcher{Capable: func(p *model.Provider, queryClass int) bool {
+		return p.CanServe(queryClass)
+	}}
+}
+
 // Allocation is the outcome of mediating one query.
 type Allocation struct {
 	// Query is the mediated query.
 	Query *model.Query
-	// Pq is the matchmade provider set.
+	// Pq is the matchmade provider set. When obtained from a Mediator
+	// wired directly to an indexed matchmaker it may alias the index's
+	// internal posting list (kept allocation-free for the simulator's
+	// hot path) and is only valid until the next mediation or provider
+	// churn event — callers that retain providers past that point must
+	// copy (SelectedProviders does). Allocations returned by Server.
+	// Mediate carry their own copy and are safe to retain.
 	Pq []*model.Provider
 	// CI and PI are the expressed intentions, indexed like Pq.
 	CI []float64

@@ -1,6 +1,7 @@
 package mediator
 
 import (
+	"errors"
 	"testing"
 
 	"sqlb/internal/allocator"
@@ -103,6 +104,40 @@ func TestMediatorNoProviders(t *testing.T) {
 	med := New(allocator.NewSQLB())
 	if _, err := med.Allocate(0, newQuery(pop, 1, 1), pop); err == nil {
 		t.Fatal("expected ErrNoProviders")
+	}
+}
+
+func TestMediatorNoProvidersIsErrNoProviders(t *testing.T) {
+	// The wrapped error must stay matchable with errors.Is — the contract
+	// the engine's drop accounting relies on.
+	pop := newPop(t, 1, 2)
+	med := New(allocator.NewSQLB())
+	med.Match = CapabilityMatcher{Capable: func(*model.Provider, int) bool { return false }}
+	_, err := med.Allocate(0, newQuery(pop, 1, 1), pop)
+	if !errors.Is(err, ErrNoProviders) {
+		t.Fatalf("err = %v, want ErrNoProviders (empty posting list)", err)
+	}
+}
+
+func TestByCapability(t *testing.T) {
+	pop := newPop(t, 1, 6)
+	for _, p := range pop.Providers {
+		p.SetCapabilities([]int{p.ID % 2}, 2) // even IDs serve class 0, odd class 1
+	}
+	m := ByCapability()
+	q := newQuery(pop, 1, 1)
+	q.Class = 0
+	pq := m.Match(q, pop)
+	if len(pq) != 3 {
+		t.Fatalf("|Pq| = %d, want the 3 even-ID providers", len(pq))
+	}
+	for i, p := range pq {
+		if p.ID%2 != 0 {
+			t.Errorf("provider %d should not serve class 0", p.ID)
+		}
+		if i > 0 && pq[i-1].ID >= p.ID {
+			t.Error("Pq not in ascending ID order")
+		}
 	}
 }
 

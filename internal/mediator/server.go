@@ -71,7 +71,12 @@ func (s *Server) Mediate(ctx context.Context, q *model.Query) (*Allocation, erro
 	if match == nil {
 		match = AllProviders{}
 	}
-	pq := match.Match(q, s.pop)
+	// Copy the matchmade set: an indexed matchmaker returns its internal
+	// posting list (see matchmaking.Index.Lookup), which a later
+	// mediation's lazy prune may compact in place. The returned
+	// Allocation escapes this lock, so the server must not alias mutable
+	// matchmaker storage; the single-threaded engine path skips the copy.
+	pq := append([]*model.Provider(nil), match.Match(q, s.pop)...)
 	if len(pq) == 0 {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("%w (query %d)", ErrNoProviders, q.ID)

@@ -121,6 +121,60 @@ func TestServerCustomMatchmaker(t *testing.T) {
 	}
 }
 
+// mutatingMatcher returns its internal slice and compacts it in place on
+// the next call — the aliasing behaviour of an indexed matchmaker's lazy
+// prune, distilled.
+type mutatingMatcher struct {
+	list []*model.Provider
+}
+
+func (m *mutatingMatcher) Match(_ *model.Query, _ *model.Population) []*model.Provider {
+	kept := m.list[:0]
+	for _, p := range m.list {
+		if p.Alive {
+			kept = append(kept, p)
+		}
+	}
+	for i := len(kept); i < len(m.list); i++ {
+		m.list[i] = nil
+	}
+	m.list = kept
+	return kept
+}
+
+func TestServerAllocationSurvivesMatchmakerMutation(t *testing.T) {
+	// An Allocation returned by Mediate must stay valid after a later
+	// mediation prunes the matchmaker's internal list (the server copies
+	// Pq before it escapes the lock).
+	pop := newPop(t, 1, 4)
+	srv := NewServer(allocator.NewSQLB(), pop, 50*time.Millisecond, nil)
+	srv.SetMatchmaker(&mutatingMatcher{list: append([]*model.Provider(nil), pop.Providers...)})
+
+	first, err := srv.Mediate(context.Background(), newQuery(pop, 1, 1))
+	if err != nil {
+		t.Fatalf("Mediate: %v", err)
+	}
+	want := append([]*model.Provider(nil), first.Pq...)
+
+	// A provider fails unannounced; the next mediation prunes in place.
+	pop.Providers[0].Alive = false
+	if _, err := srv.Mediate(context.Background(), newQuery(pop, 2, 1)); err != nil {
+		t.Fatalf("second Mediate: %v", err)
+	}
+
+	for i, p := range first.Pq {
+		if p == nil {
+			t.Fatalf("retained Allocation.Pq[%d] nil-ed by later prune", i)
+		}
+		if p != want[i] {
+			t.Fatalf("retained Allocation.Pq[%d] shifted by later prune", i)
+		}
+	}
+	if sel := first.SelectedProviders(); len(sel) != 1 || sel[0] == nil {
+		t.Fatal("SelectedProviders corrupted on the retained allocation")
+	}
+}
+
 func TestAllocateCollectedValidation(t *testing.T) {
 	pop := newPop(t, 1, 3)
 	med := New(allocator.NewSQLB())

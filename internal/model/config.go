@@ -3,6 +3,7 @@ package model
 import (
 	"errors"
 	"fmt"
+	"math"
 )
 
 // Config captures the experimental setup of the paper (Table 2 plus the
@@ -72,6 +73,25 @@ type Config struct {
 	// folded into rep(p) with this EWMA factor. 0 (the default, and the
 	// paper's setting) keeps reputations static.
 	ReputationFeedbackAlpha float64
+
+	// CapabilitySelectivity opens the heterogeneous-capability scenarios
+	// the paper abstracts away (Section 2 assumes a sound and complete
+	// matchmaking procedure, refs [11,14], and the experiments make every
+	// provider capable of every query). A value s ∈ (0,1) makes each
+	// provider advertise max(1, round(s·|classes|)) query classes drawn
+	// uniformly; 0 (the default) and values ≥ 1 reproduce the paper's
+	// all-capable setup. The matchmaker then finds Pq from the advertised
+	// capability sets instead of returning the whole population.
+	CapabilitySelectivity float64
+	// GeneralistShare is the fraction of providers that advertise every
+	// query class even under CapabilitySelectivity < 1 — the
+	// specialists-vs-generalists scenario. 0 (default) makes every
+	// provider a specialist when selectivity is active.
+	GeneralistShare float64
+	// ClassSkew shapes the query-class popularity: class i is drawn with
+	// weight 1/(i+1)^ClassSkew (Zipf-like). 0 (the default, and the
+	// paper's setting) keeps the uniform class mix of Section 6.1.
+	ClassSkew float64
 }
 
 // DefaultConfig returns the paper's Table 2 / Section 6.1 configuration.
@@ -123,6 +143,80 @@ func (c Config) Scale(factor float64) Config {
 	scaled.Providers = maxInt(1, int(float64(c.Providers)*factor+0.5))
 	scaled.ProviderK = maxInt(10, int(float64(c.ProviderK)*factor+0.5))
 	return scaled
+}
+
+// WithClasses returns a copy of the configuration carrying k query classes
+// whose treatment units are spread linearly over the paper's [130,150]
+// band, preserving the published mean of 140 units per query. k < 2
+// returns the configuration unchanged (the paper's two classes).
+func (c Config) WithClasses(k int) Config {
+	if k < 2 {
+		return c
+	}
+	out := c
+	out.QueryClasses = make([]QueryClass, k)
+	lo, hi := 130.0, 150.0
+	for i := range out.QueryClasses {
+		out.QueryClasses[i] = QueryClass{Units: lo + (hi-lo)*float64(i)/float64(k-1)}
+	}
+	return out
+}
+
+// Heterogeneous reports whether the capability scenarios are active: a
+// CapabilitySelectivity strictly between 0 and 1 makes providers advertise
+// proper subsets of the query classes.
+func (c Config) Heterogeneous() bool {
+	return c.CapabilitySelectivity > 0 && c.CapabilitySelectivity < 1
+}
+
+// CapabilityCount returns how many query classes a specialist provider
+// advertises under the current selectivity: max(1, round(s·|classes|)).
+func (c Config) CapabilityCount() int {
+	n := len(c.QueryClasses)
+	if !c.Heterogeneous() {
+		return n
+	}
+	m := int(c.CapabilitySelectivity*float64(n) + 0.5)
+	if m < 1 {
+		m = 1
+	}
+	if m > n {
+		m = n
+	}
+	return m
+}
+
+// ClassWeights returns the query-class popularity weights induced by
+// ClassSkew (weight_i ∝ 1/(i+1)^skew), or nil for the paper's uniform mix.
+func (c Config) ClassWeights() []float64 {
+	if c.ClassSkew <= 0 || len(c.QueryClasses) < 2 {
+		return nil
+	}
+	w := make([]float64, len(c.QueryClasses))
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), c.ClassSkew)
+	}
+	return w
+}
+
+// MeanQueryUnitsWeighted returns the expected treatment units of one query
+// under the ClassSkew-induced class mix (equal to MeanQueryUnits when the
+// mix is uniform). The arrival-rate calibration uses it so a workload
+// fraction keeps meaning "offered work / total capacity" under skew.
+func (c Config) MeanQueryUnitsWeighted() float64 {
+	w := c.ClassWeights()
+	if w == nil {
+		return c.MeanQueryUnits()
+	}
+	var sum, wsum float64
+	for i, qc := range c.QueryClasses {
+		sum += w[i] * qc.Units
+		wsum += w[i]
+	}
+	if wsum == 0 {
+		return c.MeanQueryUnits()
+	}
+	return sum / wsum
 }
 
 // CapacityFor returns the service rate for a capacity class.
@@ -184,6 +278,15 @@ func (c Config) Validate() error {
 	}
 	if !(c.Epsilon > 0) {
 		errs = append(errs, errors.New("config: epsilon must be > 0"))
+	}
+	if c.CapabilitySelectivity < 0 {
+		errs = append(errs, errors.New("config: capability selectivity must be >= 0"))
+	}
+	if c.GeneralistShare < 0 || c.GeneralistShare > 1 {
+		errs = append(errs, errors.New("config: generalist share must be in [0,1]"))
+	}
+	if c.ClassSkew < 0 {
+		errs = append(errs, errors.New("config: class skew must be >= 0"))
 	}
 	for name, shares := range map[string][3]float64{
 		"interest": c.InterestShares, "adaptation": c.AdaptShares, "capacity": c.CapacityShares,

@@ -135,6 +135,65 @@ type Provider struct {
 	// prefs[class] is prf_p(q) for each query class, drawn from the
 	// adaptation band.
 	prefs []float64
+
+	// caps is the advertised capability set as a bitset over query-class
+	// indexes; nil means "all classes" (the paper's experimental setup, in
+	// which every provider can perform every query — Section 6.1). The
+	// matchmaker's task-description match (the abstraction of q.d in
+	// Section 2) reduces to a bit test against this set.
+	caps []uint64
+}
+
+// CanServe reports whether the provider advertises the query class — the
+// sound-and-complete matchmaking predicate of Section 2 (refs [11,14]).
+// A provider with no explicit capability set serves every class.
+func (p *Provider) CanServe(queryClass int) bool {
+	if p.caps == nil {
+		return queryClass >= 0
+	}
+	if queryClass < 0 || queryClass >= len(p.caps)*64 {
+		return false
+	}
+	return p.caps[queryClass/64]&(1<<(uint(queryClass)%64)) != 0
+}
+
+// Generalist reports whether the provider advertises every class (no
+// explicit capability set).
+func (p *Provider) Generalist() bool { return p.caps == nil }
+
+// SetCapabilities replaces the provider's advertised capability set with
+// the given class indexes out of total classes. An empty list with
+// total > 0 yields a provider that serves nothing; call ClearCapabilities
+// to restore the all-classes default.
+func (p *Provider) SetCapabilities(classes []int, total int) {
+	if total < 1 {
+		total = 1
+	}
+	p.caps = make([]uint64, (total+63)/64)
+	for _, c := range classes {
+		if c >= 0 && c < total {
+			p.caps[c/64] |= 1 << (uint(c) % 64)
+		}
+	}
+}
+
+// ClearCapabilities restores the all-classes default.
+func (p *Provider) ClearCapabilities() { p.caps = nil }
+
+// CapabilityClasses returns the advertised class indexes in ascending
+// order, or nil for a generalist. total bounds the enumeration (pass the
+// workload's class count).
+func (p *Provider) CapabilityClasses(total int) []int {
+	if p.caps == nil {
+		return nil
+	}
+	out := []int{}
+	for c := 0; c < total && c < len(p.caps)*64; c++ {
+		if p.caps[c/64]&(1<<(uint(c)%64)) != 0 {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 // Preference returns prf_p(q) ∈ [-1,1] for a query of the given class.

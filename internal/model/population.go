@@ -55,6 +55,8 @@ func NewPopulation(cfg Config, rng *randx.Rand, startTime float64) *Population {
 		pop.Providers[i] = p
 	}
 
+	assignCapabilities(pop.Providers, cfg, rng)
+
 	for i := range pop.Consumers {
 		c := &Consumer{
 			ID:        i,
@@ -73,6 +75,28 @@ func NewPopulation(cfg Config, rng *randx.Rand, startTime float64) *Population {
 		pop.Consumers[i] = c
 	}
 	return pop
+}
+
+// assignCapabilities draws each provider's advertised capability set for
+// the heterogeneous scenarios (Config.CapabilitySelectivity): a provider is
+// a generalist with probability GeneralistShare, otherwise it advertises
+// CapabilityCount classes drawn uniformly without replacement. In the
+// paper's homogeneous setup (selectivity 0 or ≥ 1) nothing is drawn at
+// all, so the RNG stream — and therefore every downstream draw for a given
+// seed — is byte-identical to the pre-capability implementation.
+func assignCapabilities(providers []*Provider, cfg Config, rng *randx.Rand) {
+	if !cfg.Heterogeneous() {
+		return
+	}
+	total := len(cfg.QueryClasses)
+	m := cfg.CapabilityCount()
+	for _, p := range providers {
+		if cfg.GeneralistShare > 0 && rng.Bool(cfg.GeneralistShare) {
+			continue // stays a generalist (nil capability set)
+		}
+		perm := rng.Perm(total)
+		p.SetCapabilities(perm[:m], total)
+	}
 }
 
 // assignClasses deals n memberships according to shares (indexed by

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"container/heap"
+	"errors"
 	"fmt"
 
+	"sqlb/internal/matchmaking"
 	"sqlb/internal/mediator"
 	"sqlb/internal/metrics"
 	"sqlb/internal/model"
@@ -15,10 +17,11 @@ import (
 // Engine runs one simulation: it owns the population, the mediator, the
 // event heap, and the virtual clock.
 type Engine struct {
-	opts Options
-	pop  *model.Population
-	med  *mediator.Mediator
-	gen  *workload.Generator
+	opts  Options
+	pop   *model.Population
+	med   *mediator.Mediator
+	index *matchmaking.Index
+	gen   *workload.Generator
 
 	arrivalRng *randx.Rand
 
@@ -45,6 +48,11 @@ type Engine struct {
 	departuresC []Departure
 	samples     []Sample
 	autonomy    Autonomy
+
+	// medErr keeps the first mediation error that was not the expected
+	// ErrNoProviders drop — a strategy or wiring bug the run surfaces via
+	// Result.Err instead of swallowing.
+	medErr error
 
 	smoothAlpha    float64
 	smoothAlphaC   float64
@@ -73,18 +81,26 @@ func New(opts Options) (*Engine, error) {
 	arrRng := master.Split()
 
 	pop := model.NewPopulation(opts.Config, popRng, 0)
+	gen := workload.NewGenerator(opts.Config.QueryClasses, opts.Config.QueryN, genRng)
+	gen.SetClassWeights(opts.Config.ClassWeights())
 	e := &Engine{
 		opts:          opts,
 		pop:           pop,
 		med:           mediator.New(opts.Strategy),
-		gen:           workload.NewGenerator(opts.Config.QueryClasses, opts.Config.QueryN, genRng),
+		index:         matchmaking.BuildIndex(pop),
+		gen:           gen,
 		arrivalRng:    arrRng,
 		totalCapacity: pop.TotalCapacity(),
-		meanUnits:     opts.Config.MeanQueryUnits(),
+		meanUnits:     opts.Config.MeanQueryUnitsWeighted(),
 		inflight:      make(map[uint64]*inflightQuery),
 		respHist:      stats.DefaultResponseHistogram(),
 		autonomy:      opts.Autonomy.withDefaults(),
 	}
+	// The indexed matchmaker replaces the naive full-population scan: the
+	// mediator sees only the O(|Pq|) candidate subset per query. In the
+	// paper's homogeneous setup both procedures return the identical
+	// ID-ordered alive set, so simulations stay byte-identical.
+	e.med.Match = e.index
 	e.aliveConsumers = append(e.aliveConsumers, pop.Consumers...)
 	e.smoothAlpha, e.smoothAlphaC, e.smoothInterval = opts.smoothingDefaults()
 	return e, nil
@@ -93,6 +109,10 @@ func New(opts Options) (*Engine, error) {
 // Population exposes the engine's population (read-mostly; used by
 // experiments for class totals and by examples).
 func (e *Engine) Population() *model.Population { return e.pop }
+
+// MatchIndex exposes the engine's capability index (read-only; tests
+// inspect posting lists to assert the matchmaking state).
+func (e *Engine) MatchIndex() *matchmaking.Index { return e.index }
 
 // Run executes the simulation and returns its result. It can be called
 // once per engine.
@@ -169,6 +189,13 @@ func (e *Engine) handleArrival() {
 
 	alloc, err := e.med.Allocate(e.now, q, e.pop)
 	if err != nil {
+		// A query no registered provider can treat (empty posting list —
+		// the class every specialist skipped, or a drained system) is a
+		// dropped query, not a bug. Anything else is a wiring error the
+		// run must surface.
+		if !errors.Is(err, mediator.ErrNoProviders) && e.medErr == nil {
+			e.medErr = err
+		}
 		e.dropped++
 		return
 	}
@@ -305,6 +332,9 @@ func (e *Engine) checkDepartures() {
 			p.Alive = false
 			p.DepartedAt = e.now
 			p.DepartReason = reason
+			// Incremental index maintenance: the departed provider leaves
+			// every posting list now, so no future lookup pays for it.
+			e.index.Remove(p)
 			e.departuresP = append(e.departuresP, Departure{
 				Time: e.now, ID: p.ID, Reason: reason,
 				Interest: p.InterestClass, Adapt: p.AdaptClass, Cap: p.CapClass,
@@ -355,6 +385,7 @@ func (e *Engine) buildResult() *Result {
 		ConsumerDepartures: e.departuresC,
 		Providers:          len(e.pop.Providers),
 		Consumers:          len(e.pop.Consumers),
+		Err:                e.medErr,
 	}
 	if e.respCount > 0 {
 		r.MeanResponseTime = e.respSum / float64(e.respCount)

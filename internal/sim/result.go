@@ -97,6 +97,11 @@ type Result struct {
 	// Providers and Consumers are the population sizes (for rates).
 	Providers int
 	Consumers int
+
+	// Err is the first mediation error that was not an expected
+	// no-provider drop (mediator.ErrNoProviders) — nil on a healthy run.
+	// Queries it affected are included in DroppedQueries.
+	Err error
 }
 
 // ProviderDepartureRate returns the fraction of providers that left.

@@ -238,6 +238,88 @@ func TestEngineDropsWhenAllProvidersGone(t *testing.T) {
 	}
 }
 
+func TestEngineDropsUnservedClass(t *testing.T) {
+	// Heterogeneous capabilities with a class nobody serves: the mediator
+	// sees an empty posting list and the engine must count the query as
+	// dropped — no panic, no silent skip, and no spurious Result.Err.
+	opts := smallOptions(allocator.NewSQLB(), 0.5, 120)
+	opts.Config = opts.Config.WithClasses(4)
+	eng, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	for _, p := range eng.Population().Providers {
+		eng.MatchIndex().Remove(p)
+		p.SetCapabilities([]int{0, 1, 2}, 4) // class 3 unserved
+		eng.MatchIndex().Add(p)
+	}
+	if got := len(eng.MatchIndex().Lookup(3)); got != 0 {
+		t.Fatalf("class 3 posting = %d providers, want an empty posting list", got)
+	}
+	res := eng.Run()
+	if res.Err != nil {
+		t.Fatalf("Result.Err = %v on the expected-drop path", res.Err)
+	}
+	if res.DroppedQueries == 0 {
+		t.Error("queries of the unserved class must be counted as dropped")
+	}
+	if res.CompletedQueries == 0 {
+		t.Error("served classes must still complete")
+	}
+	if res.IssuedQueries != res.DroppedQueries+uint64(len(eng.inflight))+res.CompletedQueries {
+		t.Errorf("accounting broken: issued %d != dropped %d + inflight %d + completed %d",
+			res.IssuedQueries, res.DroppedQueries, len(eng.inflight), res.CompletedQueries)
+	}
+}
+
+func TestEngineHeterogeneousDeterminism(t *testing.T) {
+	// The indexed matchmaker with capability churn must stay seed-
+	// deterministic: two identical heterogeneous runs produce the same
+	// counts and samples.
+	mk := func() *Result {
+		opts := smallOptions(allocator.NewSQLB(), 0.7, 400)
+		opts.Config = opts.Config.WithClasses(6)
+		opts.Config.CapabilitySelectivity = 0.34
+		opts.Config.ClassSkew = 1
+		opts.Autonomy = FullAutonomy()
+		eng, err := New(opts)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		return eng.Run()
+	}
+	a, b := mk(), mk()
+	if a.IssuedQueries != b.IssuedQueries || a.DroppedQueries != b.DroppedQueries ||
+		a.CompletedQueries != b.CompletedQueries || a.MeanResponseTime != b.MeanResponseTime ||
+		len(a.ProviderDepartures) != len(b.ProviderDepartures) {
+		t.Fatalf("heterogeneous runs diverged: %+v vs %+v",
+			[3]uint64{a.IssuedQueries, a.DroppedQueries, a.CompletedQueries},
+			[3]uint64{b.IssuedQueries, b.DroppedQueries, b.CompletedQueries})
+	}
+}
+
+func TestEngineIndexMaintainedOnDeparture(t *testing.T) {
+	// Departing providers must leave the posting lists (incremental
+	// maintenance), so the index and the naive alive-scan agree at the end
+	// of an autonomy run.
+	opts := smallOptions(allocator.NewCapacityBased(), 0.8, 1500)
+	opts.Autonomy = FullAutonomy()
+	eng, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res := eng.Run()
+	if len(res.ProviderDepartures) == 0 {
+		t.Skip("no departures materialized; nothing to check")
+	}
+	alive := len(eng.Population().AliveProviders())
+	for c := range eng.Population().Classes {
+		if got := len(eng.MatchIndex().Lookup(c)); got != alive {
+			t.Errorf("class %d posting = %d providers, want the %d alive", c, got, alive)
+		}
+	}
+}
+
 func TestEngineAutonomyDepartures(t *testing.T) {
 	// Under capacity-based allocation with full autonomy at high workload,
 	// the paper's dynamics predict heavy provider loss; under SQLB most

@@ -55,17 +55,21 @@ func ArrivalRate(fraction, totalCapacity, meanUnits float64) float64 {
 	return fraction * totalCapacity / meanUnits
 }
 
-// Generator mints queries: uniform class mix, the configured q.n, unique
-// IDs, issued by the consumer the caller picked.
+// Generator mints queries: the configured class mix (uniform by default,
+// weighted under skew), the configured q.n, unique IDs, issued by the
+// consumer the caller picked.
 type Generator struct {
 	classes []model.QueryClass
 	queryN  int
 	rng     *randx.Rand
 	nextID  uint64
+	// cum is the cumulative class-weight distribution; nil keeps the
+	// paper's uniform mix (and the exact historical draw sequence).
+	cum []float64
 }
 
 // NewGenerator returns a generator over the given classes with the desired
-// q.n, drawing from rng.
+// q.n, drawing a uniform class mix from rng (the Section 6.1 workload).
 func NewGenerator(classes []model.QueryClass, queryN int, rng *randx.Rand) *Generator {
 	if queryN < 1 {
 		queryN = 1
@@ -73,13 +77,38 @@ func NewGenerator(classes []model.QueryClass, queryN int, rng *randx.Rand) *Gene
 	return &Generator{classes: classes, queryN: queryN, rng: rng}
 }
 
+// SetClassWeights switches the generator to a weighted class mix — the
+// skewed-popularity scenarios (model.Config.ClassSkew). Weights need not
+// be normalized; non-positive entries get zero probability. A nil or
+// all-zero slice restores the uniform mix. The weighted path draws exactly
+// one Float64 per query, so enabling weights changes the draw per query
+// but never the number of draws.
+func (g *Generator) SetClassWeights(weights []float64) {
+	g.cum = nil
+	if len(weights) != len(g.classes) {
+		return
+	}
+	total := 0.0
+	cum := make([]float64, len(weights))
+	for i, w := range weights {
+		if w > 0 {
+			total += w
+		}
+		cum[i] = total
+	}
+	if total <= 0 {
+		return
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	g.cum = cum
+}
+
 // Next mints the next query for consumer c at time now.
 func (g *Generator) Next(now float64, c *model.Consumer) *model.Query {
 	g.nextID++
-	class := 0
-	if len(g.classes) > 1 {
-		class = g.rng.Pick(len(g.classes))
-	}
+	class := g.pickClass()
 	units := 0.0
 	if class < len(g.classes) {
 		units = g.classes[class].Units
@@ -92,6 +121,24 @@ func (g *Generator) Next(now float64, c *model.Consumer) *model.Query {
 		N:        g.queryN,
 		IssuedAt: now,
 	}
+}
+
+// pickClass draws the query class: uniformly (the historical stream) or by
+// inverse-CDF over the configured weights.
+func (g *Generator) pickClass() int {
+	if g.cum != nil {
+		u := g.rng.Float64()
+		for i, c := range g.cum {
+			if u < c {
+				return i
+			}
+		}
+		return len(g.cum) - 1
+	}
+	if len(g.classes) > 1 {
+		return g.rng.Pick(len(g.classes))
+	}
+	return 0
 }
 
 // Issued returns how many queries have been minted.

@@ -100,6 +100,65 @@ func TestGeneratorQNFloor(t *testing.T) {
 	}
 }
 
+func TestGeneratorClassWeights(t *testing.T) {
+	cfg := model.DefaultConfig().WithClasses(4)
+	cfg.Consumers = 1
+	cfg.Providers = 1
+	cfg.ClassSkew = 1
+	pop := model.NewPopulation(cfg, randx.New(1), 0)
+	g := NewGenerator(cfg.QueryClasses, 1, randx.New(5))
+	g.SetClassWeights(cfg.ClassWeights())
+
+	counts := map[int]int{}
+	for i := 0; i < 20000; i++ {
+		counts[g.Next(float64(i), pop.Consumers[0]).Class]++
+	}
+	// Zipf(1) over 4 classes: P(0) = 1/(1+1/2+1/3+1/4) = 0.48.
+	frac0 := float64(counts[0]) / 20000
+	if math.Abs(frac0-0.48) > 0.03 {
+		t.Errorf("class-0 fraction = %v, want ≈0.48 under skew 1", frac0)
+	}
+	for c := 1; c < 4; c++ {
+		if counts[c] >= counts[c-1] {
+			t.Errorf("class %d drawn %d ≥ class %d drawn %d; skew must rank popularity",
+				c, counts[c], c-1, counts[c-1])
+		}
+	}
+	if counts[3] == 0 {
+		t.Error("least-popular class never drawn")
+	}
+}
+
+func TestGeneratorWeightsEdgeCases(t *testing.T) {
+	classes := []model.QueryClass{{Units: 100}, {Units: 200}}
+	cfg := model.DefaultConfig()
+	cfg.Consumers = 1
+	cfg.Providers = 1
+	pop := model.NewPopulation(cfg, randx.New(1), 0)
+
+	// Mis-sized, all-zero, and nil weight slices all restore uniform.
+	for _, w := range [][]float64{{1, 2, 3}, {0, 0}, nil, {-1, -2}} {
+		g := NewGenerator(classes, 1, randx.New(6))
+		g.SetClassWeights(w)
+		seen := map[int]bool{}
+		for i := 0; i < 200; i++ {
+			seen[g.Next(0, pop.Consumers[0]).Class] = true
+		}
+		if !seen[0] || !seen[1] {
+			t.Errorf("weights %v: both classes should appear under the uniform fallback", w)
+		}
+	}
+
+	// A zero-weight class is never drawn.
+	g := NewGenerator(classes, 1, randx.New(7))
+	g.SetClassWeights([]float64{0, 1})
+	for i := 0; i < 200; i++ {
+		if q := g.Next(0, pop.Consumers[0]); q.Class != 1 {
+			t.Fatalf("zero-weight class drawn (class %d)", q.Class)
+		}
+	}
+}
+
 func TestGeneratorSingleClass(t *testing.T) {
 	g := NewGenerator([]model.QueryClass{{Units: 42}}, 2, randx.New(4))
 	cfg := model.DefaultConfig()

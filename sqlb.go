@@ -30,6 +30,7 @@ import (
 	"sqlb/internal/core"
 	"sqlb/internal/experiments"
 	"sqlb/internal/intention"
+	"sqlb/internal/matchmaking"
 	"sqlb/internal/mediator"
 	"sqlb/internal/metrics"
 	"sqlb/internal/model"
@@ -87,6 +88,9 @@ type (
 	Matchmaker = mediator.Matchmaker
 	// CapabilityMatcher matches on a per-provider capability predicate.
 	CapabilityMatcher = mediator.CapabilityMatcher
+	// MatchIndex is the inverted capability index: O(|Pq|) posting-list
+	// lookups maintained incrementally under provider churn.
+	MatchIndex = matchmaking.Index
 	// IntentionCollector gathers intentions concurrently with a timeout
 	// (Algorithm 1 lines 2-5) from possibly slow or remote participants.
 	IntentionCollector = mediator.Collector
@@ -149,6 +153,17 @@ func NewPopulation(cfg Config, seed uint64) *Population {
 // NewMediator returns a mediator running the given allocation strategy with
 // the all-providers matchmaker.
 func NewMediator(strategy Allocator) *Mediator { return mediator.New(strategy) }
+
+// BuildMatchIndex indexes the population's alive providers by advertised
+// query class; assign it to Mediator.Match to replace the O(|P|) scan with
+// O(|Pq|) posting-list lookups (simulations built via NewSimulation do
+// this automatically).
+func BuildMatchIndex(pop *Population) *MatchIndex { return matchmaking.BuildIndex(pop) }
+
+// ByCapability returns the naive sound-and-complete matchmaker over the
+// providers' advertised capability sets — the reference the index is
+// property-tested against.
+func ByCapability() CapabilityMatcher { return mediator.ByCapability() }
 
 // NewMediationServer returns a concurrent mediation service over the
 // population; timeout bounds each query's intention collection and now
