@@ -3,11 +3,16 @@
 GO ?= go
 
 # BENCH selects the regression benchmark set: the Rank/Select and
-# matchmaking hot-path micro-benchmarks and the serial-vs-parallel Lab
-# runs. Override with `make bench BENCH=.` for the full suite.
-BENCH ?= BenchmarkRank|BenchmarkSelectTopN|BenchmarkLab|BenchmarkMediatorAllocate|BenchmarkMatchmaking
+# matchmaking hot-path micro-benchmarks, the serial-vs-parallel Lab runs,
+# and the batched-vs-per-query mediation service path. Override with
+# `make bench BENCH=.` for the full suite.
+BENCH ?= BenchmarkRank|BenchmarkSelectTopN|BenchmarkLab|BenchmarkMediatorAllocate|BenchmarkMatchmaking|BenchmarkServerMediate
 
-.PHONY: all build test race vet fmt-check bench clean
+# SERVE_JSON is where serve-bench drops the sqlb-serve steady-state report;
+# bench embeds it into BENCH_results.json when present.
+SERVE_JSON ?= artifacts/serving_10k.json
+
+.PHONY: all build test race vet fmt-check bench serve-bench clean
 
 all: vet fmt-check build test
 
@@ -18,9 +23,10 @@ test:
 	$(GO) test ./...
 
 # race covers the packages with real concurrency: the parallel experiment
-# Lab, the simulation engine it fans out, and the mediator server.
+# Lab, the simulation engine it fans out, the mediator server, and the
+# serving driver's worker pool.
 race:
-	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/mediator/... ./internal/matchmaking/...
+	$(GO) test -race ./internal/experiments/... ./internal/sim/... ./internal/mediator/... ./internal/matchmaking/... ./internal/serving/...
 
 vet:
 	$(GO) vet ./...
@@ -30,9 +36,19 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
 
 # bench writes BENCH_results.json (ns/op plus reported metrics) so future
-# PRs have a perf trajectory to compare against.
+# PRs have a perf trajectory to compare against. If serve-bench has left a
+# steady-state serving report behind, it rides along under the "serving" key.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . | $(GO) run ./tools/benchjson -out BENCH_results.json
+	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . | $(GO) run ./tools/benchjson -out BENCH_results.json -serving $(SERVE_JSON)
+
+# serve-bench measures the mediator-as-a-service throughput path at
+# |P| = 10000: sqlb-serve drives an open-loop schedule against the live
+# mediation server and writes the mediations/sec + latency-percentile
+# report that bench then embeds into BENCH_results.json.
+serve-bench:
+	mkdir -p artifacts
+	$(GO) run ./cmd/sqlb-serve -providers 10000 -consumers 200 -classes 20 -selectivity 0.05 \
+		-qps 300 -batch 32 -warmup 2s -measure 8s -json $(SERVE_JSON)
 
 clean:
 	rm -f BENCH_results.json

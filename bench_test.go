@@ -10,8 +10,10 @@
 package sqlb_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
+	"time"
 
 	"sqlb"
 	"sqlb/internal/allocator"
@@ -375,6 +377,74 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 		}
 		res := eng.Run()
 		b.ReportMetric(float64(res.IssuedQueries), "queries/run")
+	}
+}
+
+// --- mediation service: batched vs per-query mediation ---
+
+// servePop builds the serving-path population: many providers, few classes
+// advertised each, so every mediation matchmakes through a posting list.
+func servePop(b *testing.B, providers int) *sqlb.Population {
+	b.Helper()
+	cfg := sqlb.DefaultConfig().WithClasses(10)
+	cfg.Consumers = 8
+	cfg.Providers = providers
+	cfg.CapabilitySelectivity = 0.1
+	return sqlb.NewPopulation(cfg, 17)
+}
+
+func serveQueries(pop *sqlb.Population, n, classes int) []*model.Query {
+	qs := make([]*model.Query, n)
+	for i := range qs {
+		qs[i] = &model.Query{
+			ID:       uint64(i + 1),
+			Consumer: pop.Consumers[i%len(pop.Consumers)],
+			Class:    i % classes,
+			Units:    130,
+			N:        2,
+		}
+	}
+	return qs
+}
+
+func serveServer(pop *sqlb.Population) *sqlb.MediationServer {
+	srv := sqlb.NewMediationServer(sqlb.NewSQLB(), pop, time.Second, func() float64 { return 0 })
+	srv.SetMatchmaker(sqlb.BuildMatchIndex(pop))
+	return srv
+}
+
+// BenchmarkServerMediate vs BenchmarkServerMediateBatch16 is the serving
+// tentpole's amortization claim: a batch shares the matchmaking lookup and
+// the provider-intention vector across its queries of a class, where the
+// per-query path re-collects both through goroutine fan-out every time.
+// ns/op is per mediation in both.
+func BenchmarkServerMediate(b *testing.B) {
+	pop := servePop(b, 1000)
+	srv := serveServer(pop)
+	qs := serveQueries(pop, 256, 10)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := srv.Mediate(context.Background(), qs[i%len(qs)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkServerMediateBatch16(b *testing.B) {
+	pop := servePop(b, 1000)
+	srv := serveServer(pop)
+	qs := serveQueries(pop, 256, 10)
+	batch := make([]*model.Query, 16)
+	b.ResetTimer()
+	for i := 0; i < b.N; i += len(batch) {
+		for j := range batch {
+			batch[j] = qs[(i+j)%len(qs)]
+		}
+		for _, r := range srv.MediateBatch(context.Background(), batch) {
+			if r.Err != nil {
+				b.Fatal(r.Err)
+			}
+		}
 	}
 }
 

@@ -65,8 +65,9 @@ func main() {
 
 	collector := &sqlb.IntentionCollector{Timeout: 100 * time.Millisecond}
 	start := time.Now()
-	ci, pi := collector.Collect(context.Background(), q, pop.Providers, consumer, providers)
-	fmt.Printf("collected intentions in %v (p3 timed out → indifference)\n\n", time.Since(start).Round(time.Millisecond))
+	ci, pi, st := collector.Collect(context.Background(), q, pop.Providers, consumer, providers)
+	fmt.Printf("collected intentions in %v (%d timed out → indifference)\n\n",
+		time.Since(start).Round(time.Millisecond), st.Timeouts)
 
 	// Score and rank per Definition 9 with the initial even balance ω=0.5.
 	omegas := make([]float64, len(pop.Providers))

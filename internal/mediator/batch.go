@@ -1,0 +1,132 @@
+package mediator
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"sqlb/internal/intention"
+	"sqlb/internal/model"
+)
+
+// BatchResult is the outcome of one query within a MediateBatch call.
+type BatchResult struct {
+	// Alloc is the allocation; nil when Err is set.
+	Alloc *Allocation
+	// Err is the per-query mediation error (ErrNoProviders for an empty
+	// Pq, ErrServerClosed after Close, a validation error otherwise).
+	Err error
+}
+
+// batchMemo caches the work a batch amortizes across queries that share a
+// class or a consumer. All cached state is valid for one mediation turn:
+// nothing a commit touches (satisfaction trackers) feeds it, so reusing it
+// across the batch is observably identical to recomputing it per query.
+type batchMemo struct {
+	now float64
+	// pq and pi are per query class. The provider intentions of Definition
+	// 8 depend only on (provider, class, clock) — not on the consumer — so
+	// one PI⃗ vector serves every query of the class in the batch.
+	pq map[int][]*model.Provider
+	pi map[int][]float64
+	// ci is per (consumer, class): Definition 7 reads the consumer's
+	// preferences and the providers' reputations, neither of which a
+	// mediation commit updates.
+	ci map[ciKey][]float64
+}
+
+type ciKey struct {
+	consumer *model.Consumer
+	class    int
+}
+
+// MediateBatch mediates a batch of queries under one mediation turn: one
+// lock acquisition, one matchmaking lookup and one provider-intention
+// vector per distinct query class, one consumer-intention vector per
+// distinct (consumer, class) pair — while the allocation commits (scoring,
+// ranking, selection, result notification) still run per query in slice
+// order, reading tracker state updated by the commits before them. The
+// results are therefore identical to calling Mediate sequentially on the
+// same queries at the same clock reading; the batch only amortizes the
+// side-effect-free prefix of Algorithm 1. (Under SetApply the memoized
+// provider intentions are a snapshot from the start of the batch: work
+// enqueued by earlier queries of the same batch shows up in Definition 8's
+// load term only from the next batch on — staleness bounded by one batch.)
+//
+// Intentions are computed synchronously in-process (the throughput path);
+// the concurrent Collector fan-out of Mediate is for slow or remote
+// participants and reports CollectErrors/CollectTimeouts instead.
+func (s *Server) MediateBatch(ctx context.Context, qs []*model.Query) []BatchResult {
+	out := make([]BatchResult, len(qs))
+	if len(qs) == 0 {
+		return out
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		for i := range out {
+			out[i].Err = ErrServerClosed
+		}
+		return out
+	}
+	match := s.med.Match
+	if match == nil {
+		match = AllProviders{}
+	}
+	memo := batchMemo{
+		now: s.now(),
+		pq:  make(map[int][]*model.Provider),
+		pi:  make(map[int][]float64),
+		ci:  make(map[ciKey][]float64),
+	}
+	for i, q := range qs {
+		if err := ctx.Err(); err != nil {
+			out[i].Err = err
+			continue
+		}
+		if q == nil || q.Consumer == nil {
+			out[i].Err = errors.New("mediator: query needs a consumer")
+			continue
+		}
+		pq, ok := memo.pq[q.Class]
+		if !ok {
+			// Copy once per class: the index's posting list may be
+			// compacted by a later turn's lazy prune, and every allocation
+			// of this batch escapes the lock aliasing this slice.
+			pq = append([]*model.Provider(nil), match.Match(q, s.pop)...)
+			memo.pq[q.Class] = pq
+		}
+		if len(pq) == 0 {
+			out[i].Err = fmt.Errorf("%w (query %d)", ErrNoProviders, q.ID)
+			continue
+		}
+		pi, ok := memo.pi[q.Class]
+		if !ok {
+			pi = make([]float64, len(pq))
+			for j, p := range pq {
+				pi[j] = intention.Provider(p.Preference(q.Class), p.OperationalLoad(memo.now), p.SmoothSat, p.Epsilon)
+			}
+			memo.pi[q.Class] = pi
+		}
+		key := ciKey{consumer: q.Consumer, class: q.Class}
+		ci, ok := memo.ci[key]
+		if !ok {
+			c := q.Consumer
+			ci = make([]float64, len(pq))
+			for j, p := range pq {
+				ci[j] = intention.Consumer(c.Preference(p, q.Class), p.Reputation, c.Upsilon, c.Epsilon)
+			}
+			memo.ci[key] = ci
+		}
+		alloc, err := s.med.AllocateCollected(memo.now, q, pq, ci, pi)
+		if err != nil {
+			out[i].Err = err
+			continue
+		}
+		if s.apply {
+			s.applyAllocation(memo.now, q, alloc)
+		}
+		out[i].Alloc = alloc
+	}
+	return out
+}

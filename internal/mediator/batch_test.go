@@ -1,0 +1,207 @@
+package mediator
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"sqlb/internal/allocator"
+	"sqlb/internal/model"
+	"sqlb/internal/randx"
+)
+
+// batchFixture builds two identical populations (same seed) so one can be
+// driven through sequential Mediate and the other through MediateBatch.
+func batchFixture(t *testing.T, consumers, providers int) (a, b *model.Population) {
+	t.Helper()
+	cfg := model.DefaultConfig()
+	cfg.Consumers = consumers
+	cfg.Providers = providers
+	return model.NewPopulation(cfg, randx.New(33), 0),
+		model.NewPopulation(cfg, randx.New(33), 0)
+}
+
+// mintQueries mints the same query stream against both populations' consumers.
+func mintQueries(pop *model.Population, n int) []*model.Query {
+	qs := make([]*model.Query, n)
+	for i := range qs {
+		qs[i] = &model.Query{
+			ID:       uint64(i + 1),
+			Consumer: pop.Consumers[i%len(pop.Consumers)],
+			Class:    i % 2,
+			Units:    130 + 20*float64(i%2),
+			N:        1 + i%2,
+		}
+	}
+	return qs
+}
+
+func TestMediateBatchEquivalentToSequential(t *testing.T) {
+	// A batch must be observably identical to the same sequence of single
+	// mediations at the same clock reading: same selections, same intention
+	// vectors, same tracker bookkeeping.
+	popSeq, popBatch := batchFixture(t, 3, 16)
+	now := func() float64 { return 7 }
+	seq := NewServer(allocator.NewSQLB(), popSeq, 100*time.Millisecond, now)
+	bat := NewServer(allocator.NewSQLB(), popBatch, 100*time.Millisecond, now)
+
+	const n = 40
+	wantAllocs := make([]*Allocation, n)
+	for i, q := range mintQueries(popSeq, n) {
+		alloc, err := seq.Mediate(context.Background(), q)
+		if err != nil {
+			t.Fatalf("sequential Mediate %d: %v", i, err)
+		}
+		wantAllocs[i] = alloc
+	}
+	results := bat.MediateBatch(context.Background(), mintQueries(popBatch, n))
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("batch query %d: %v", i, r.Err)
+		}
+		want := wantAllocs[i]
+		if len(r.Alloc.Selected) != len(want.Selected) {
+			t.Fatalf("query %d: batch selected %v, sequential %v", i, r.Alloc.Selected, want.Selected)
+		}
+		for j := range want.Selected {
+			if r.Alloc.Selected[j] != want.Selected[j] {
+				t.Fatalf("query %d: batch selected %v, sequential %v", i, r.Alloc.Selected, want.Selected)
+			}
+		}
+		for j := range want.CI {
+			if math.Abs(r.Alloc.CI[j]-want.CI[j]) > 1e-12 || math.Abs(r.Alloc.PI[j]-want.PI[j]) > 1e-12 {
+				t.Fatalf("query %d provider %d: intentions diverged (%v/%v vs %v/%v)",
+					i, j, r.Alloc.CI[j], r.Alloc.PI[j], want.CI[j], want.PI[j])
+			}
+		}
+		if r.Alloc.Degraded() {
+			t.Fatalf("query %d: in-process batch reported degraded collection", i)
+		}
+	}
+	// The commits' bookkeeping matches too.
+	for i, p := range popSeq.Providers {
+		pb := popBatch.Providers[i]
+		if p.Public.Proposed() != pb.Public.Proposed() || p.Public.Performed() != pb.Public.Performed() {
+			t.Fatalf("provider %d tracker diverged: %d/%d vs %d/%d",
+				i, p.Public.Proposed(), p.Public.Performed(), pb.Public.Proposed(), pb.Public.Performed())
+		}
+	}
+	for i, c := range popSeq.Consumers {
+		if c.Tracker.Queries() != popBatch.Consumers[i].Tracker.Queries() {
+			t.Fatalf("consumer %d query records diverged", i)
+		}
+	}
+}
+
+func TestMediateBatchPerQueryErrors(t *testing.T) {
+	pop := newPop(t, 2, 4)
+	srv := NewServer(allocator.NewSQLB(), pop, 50*time.Millisecond, func() float64 { return 0 })
+	good := newQuery(pop, 1, 1)
+	noConsumer := newQuery(pop, 2, 1)
+	noConsumer.Consumer = nil
+	unservable := newQuery(pop, 3, 1)
+	unservable.Class = 99 // no provider advertises it under a class-bounded matchmaker
+	srv.SetMatchmaker(CapabilityMatcher{Capable: func(p *model.Provider, class int) bool {
+		return class < 2
+	}})
+	res := srv.MediateBatch(context.Background(), []*model.Query{good, noConsumer, unservable, nil})
+	if res[0].Err != nil || res[0].Alloc == nil {
+		t.Fatalf("good query failed: %v", res[0].Err)
+	}
+	if res[1].Err == nil || res[3].Err == nil {
+		t.Fatal("consumer-less/nil queries accepted")
+	}
+	if !errors.Is(res[2].Err, ErrNoProviders) {
+		t.Fatalf("unservable class: err = %v, want ErrNoProviders", res[2].Err)
+	}
+}
+
+func TestMediateBatchAfterClose(t *testing.T) {
+	pop := newPop(t, 1, 3)
+	srv := NewServer(allocator.NewSQLB(), pop, 50*time.Millisecond, nil)
+	srv.Close()
+	res := srv.MediateBatch(context.Background(), mintQueries(pop, 3))
+	for i, r := range res {
+		if r.Err != ErrServerClosed {
+			t.Fatalf("result %d: err = %v, want ErrServerClosed", i, r.Err)
+		}
+	}
+}
+
+func TestMediateBatchApplyLoadsProviders(t *testing.T) {
+	pop := newPop(t, 1, 4)
+	srv := NewServer(allocator.NewSQLB(), pop, 50*time.Millisecond, func() float64 { return 0 })
+	srv.SetApply(true)
+	res := srv.MediateBatch(context.Background(), mintQueries(pop, 8))
+	assigned := 0
+	for _, r := range res {
+		if r.Err != nil {
+			t.Fatalf("batch: %v", r.Err)
+		}
+		assigned += len(r.Alloc.Selected)
+	}
+	var performed uint64
+	var backlog float64
+	for _, p := range pop.Providers {
+		performed += p.QueriesPerformed
+		backlog += p.Backlog(0)
+	}
+	if performed != uint64(assigned) {
+		t.Fatalf("providers performed %d queries, want %d (SetApply commits Assign)", performed, assigned)
+	}
+	if backlog <= 0 {
+		t.Fatal("applied allocations should leave queued work behind")
+	}
+}
+
+// TestServerMediateCloseRace drives concurrent Mediate, MediateBatch, and
+// Close — the shutdown path the serving driver exercises. Run under
+// `go test -race`: the invariant is simply that every call returns either a
+// valid allocation or ErrServerClosed, with no data race.
+func TestServerMediateCloseRace(t *testing.T) {
+	pop := newPop(t, 4, 12)
+	srv := NewServer(allocator.NewSQLB(), pop, 100*time.Millisecond, nil)
+	srv.SetApply(true)
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			<-start
+			for i := 0; i < 50; i++ {
+				q := newQuery(pop, uint64(1000*g+i), 1)
+				q.Consumer = pop.Consumers[(g+i)%len(pop.Consumers)]
+				if g%2 == 0 {
+					if _, err := srv.Mediate(context.Background(), q); err != nil && err != ErrServerClosed {
+						t.Errorf("Mediate: %v", err)
+						return
+					}
+					continue
+				}
+				for _, r := range srv.MediateBatch(context.Background(), []*model.Query{q}) {
+					if r.Err != nil && r.Err != ErrServerClosed {
+						t.Errorf("MediateBatch: %v", r.Err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		<-start
+		time.Sleep(time.Millisecond)
+		srv.Close()
+	}()
+	close(start)
+	wg.Wait()
+	// After Close every path must fail fast.
+	if _, err := srv.Mediate(context.Background(), newQuery(pop, 9999, 1)); err != ErrServerClosed {
+		t.Fatalf("post-close Mediate err = %v, want ErrServerClosed", err)
+	}
+}

@@ -34,13 +34,29 @@ type Collector struct {
 	Default float64
 }
 
+// CollectStats accounts for the answers a collection did not get: each
+// errored or timed-out participant was silently folded into the Default
+// intention, degrading the mediation without leaving a trace. The serving
+// report surfaces these so phantom "indifference" does not read as health.
+type CollectStats struct {
+	// Errors counts answers that arrived as errors (unreachable or
+	// misbehaving participants).
+	Errors int
+	// Timeouts counts answers still outstanding when the timeout fired.
+	Timeouts int
+}
+
+// Degraded reports whether any intention fell back to the Default.
+func (s CollectStats) Degraded() bool { return s.Errors > 0 || s.Timeouts > 0 }
+
 // Collect gathers the consumer's intention vector CI⃗_q and the providers'
 // intention vector PI⃗_q concurrently. providers must be indexed like pq;
 // the returned slices are indexed alike. Collect never blocks past the
 // timeout and never leaks goroutines (stragglers finish into a buffered
-// channel and exit).
+// channel and exit). The stats account for every answer that fell back to
+// the Default intention.
 func (c *Collector) Collect(ctx context.Context, q *model.Query, pq []*model.Provider,
-	consumer ConsumerClient, providers []ProviderClient) (ci, pi []float64) {
+	consumer ConsumerClient, providers []ProviderClient) (ci, pi []float64, stats CollectStats) {
 
 	timeout := c.Timeout
 	if timeout <= 0 {
@@ -87,6 +103,7 @@ func (c *Collector) Collect(ctx context.Context, q *model.Query, pq []*model.Pro
 		case a := <-ch:
 			expected--
 			if a.err != nil {
+				stats.Errors++
 				continue
 			}
 			if a.provider {
@@ -95,10 +112,11 @@ func (c *Collector) Collect(ctx context.Context, q *model.Query, pq []*model.Pro
 				ci[a.idx] = sanitize(a.v)
 			}
 		case <-ctx.Done():
-			return ci, pi
+			stats.Timeouts = expected
+			return ci, pi, stats
 		}
 	}
-	return ci, pi
+	return ci, pi, stats
 }
 
 // sanitize guards against NaN and absurd magnitudes from misbehaving

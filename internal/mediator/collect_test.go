@@ -62,7 +62,10 @@ func TestCollectAllAnswer(t *testing.T) {
 		providers[i] = stubProvider{value: 0.25 * float64(i)}
 	}
 	c := &Collector{Timeout: time.Second}
-	ci, pi := c.Collect(context.Background(), q, pop.Providers, stubConsumer{value: 0.7}, providers)
+	ci, pi, st := c.Collect(context.Background(), q, pop.Providers, stubConsumer{value: 0.7}, providers)
+	if st.Degraded() {
+		t.Fatalf("full collection reported degraded stats: %+v", st)
+	}
 	for i := range ci {
 		if ci[i] != 0.7 {
 			t.Errorf("ci[%d] = %v, want 0.7", i, ci[i])
@@ -82,7 +85,7 @@ func TestCollectTimeoutFallsBackToDefault(t *testing.T) {
 	}
 	c := &Collector{Timeout: 30 * time.Millisecond}
 	start := time.Now()
-	ci, pi := c.Collect(context.Background(), q, pop.Providers, stubConsumer{value: 0.5}, providers)
+	ci, pi, st := c.Collect(context.Background(), q, pop.Providers, stubConsumer{value: 0.5}, providers)
 	if elapsed := time.Since(start); elapsed > 300*time.Millisecond {
 		t.Errorf("Collect blocked %v past its timeout", elapsed)
 	}
@@ -91,6 +94,12 @@ func TestCollectTimeoutFallsBackToDefault(t *testing.T) {
 	}
 	if pi[1] != 0 {
 		t.Errorf("slow provider should default to 0 (indifference), got %v", pi[1])
+	}
+	if st.Timeouts != 1 || st.Errors != 0 {
+		t.Errorf("stats = %+v, want exactly the slow provider timed out", st)
+	}
+	if !st.Degraded() {
+		t.Error("a timed-out collection must report Degraded")
 	}
 	_ = ci
 }
@@ -102,19 +111,25 @@ func TestCollectErrorsBecomeDefaults(t *testing.T) {
 		stubProvider{value: 0.4},
 	}
 	c := &Collector{Timeout: time.Second, Default: 0}
-	_, pi := c.Collect(context.Background(), q, pop.Providers, stubConsumer{err: errors.New("boom")}, providers)
+	_, pi, st := c.Collect(context.Background(), q, pop.Providers, stubConsumer{err: errors.New("boom")}, providers)
 	if pi[0] != 0 {
 		t.Errorf("failed provider should default, got %v", pi[0])
 	}
 	if pi[1] != 0.4 {
 		t.Errorf("healthy provider lost: %v", pi[1])
 	}
+	// Two consumer answers and one provider answer errored; the accounting
+	// is what stops silent degradation (each error was folded into the
+	// Default intention).
+	if st.Errors != 3 || st.Timeouts != 0 {
+		t.Errorf("stats = %+v, want 3 errors, 0 timeouts", st)
+	}
 }
 
 func TestCollectNilClients(t *testing.T) {
 	pop, q := collectFixture(t, 2)
 	c := &Collector{Timeout: 50 * time.Millisecond}
-	ci, pi := c.Collect(context.Background(), q, pop.Providers, nil, []ProviderClient{nil, nil})
+	ci, pi, _ := c.Collect(context.Background(), q, pop.Providers, nil, []ProviderClient{nil, nil})
 	for i := range ci {
 		if ci[i] != 0 || pi[i] != 0 {
 			t.Errorf("nil clients should yield defaults, got ci=%v pi=%v", ci[i], pi[i])
@@ -143,7 +158,7 @@ func TestCollectCancelledContext(t *testing.T) {
 func TestCollectSanitizesGarbage(t *testing.T) {
 	pop, q := collectFixture(t, 1)
 	c := &Collector{Timeout: time.Second}
-	ci, pi := c.Collect(context.Background(), q, pop.Providers,
+	ci, pi, _ := c.Collect(context.Background(), q, pop.Providers,
 		stubConsumer{value: 42}, []ProviderClient{stubProvider{value: math.NaN()}})
 	if ci[0] != 10 {
 		t.Errorf("absurd intention should cap at 10, got %v", ci[0])
@@ -152,7 +167,7 @@ func TestCollectSanitizesGarbage(t *testing.T) {
 		t.Errorf("NaN intention should become 0, got %v", pi[0])
 	}
 	// Legitimate raw Def 7/8 values below -1 pass through untouched.
-	ci2, _ := c.Collect(context.Background(), q, pop.Providers,
+	ci2, _, _ := c.Collect(context.Background(), q, pop.Providers,
 		stubConsumer{value: -2.5}, []ProviderClient{stubProvider{value: 0.5}})
 	if ci2[0] != -2.5 {
 		t.Errorf("raw negative intention should pass, got %v", ci2[0])
@@ -167,7 +182,7 @@ func TestCollectWithLocalAdapters(t *testing.T) {
 		providers[i] = LocalProvider{P: p, Now: now}
 	}
 	c := &Collector{Timeout: time.Second}
-	ci, pi := c.Collect(context.Background(), q, pop.Providers, LocalConsumer{C: pop.Consumers[0]}, providers)
+	ci, pi, _ := c.Collect(context.Background(), q, pop.Providers, LocalConsumer{C: pop.Consumers[0]}, providers)
 	// The concurrent path must agree with the synchronous fast path.
 	wantCI, wantPI := Intentions(0, q, pop.Providers)
 	for i := range ci {

@@ -90,7 +90,19 @@ type Allocation struct {
 	// Selected are the indexes into Pq that got the query, best first
 	// (All⃗oc[p] = 1 for these, 0 for the rest).
 	Selected []int
+	// CollectErrors and CollectTimeouts count the intention answers that
+	// fell back to the collector's Default on the concurrent path (errored
+	// participants and answers outstanding at the timeout). Zero on the
+	// in-process synchronous path, where every intention is computed
+	// locally.
+	CollectErrors   int
+	CollectTimeouts int
 }
+
+// Degraded reports whether any intention behind this allocation fell back
+// to the collector's Default — the mediation committed on partial
+// information.
+func (a *Allocation) Degraded() bool { return a.CollectErrors > 0 || a.CollectTimeouts > 0 }
 
 // SelectedProviders returns the providers that got the query, best first.
 func (a *Allocation) SelectedProviders() []*model.Provider {

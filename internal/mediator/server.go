@@ -27,6 +27,12 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+	// apply makes the server commit each allocation onto the selected
+	// providers' queues (model.Provider.Assign) inside the mediation turn.
+	// The discrete-event engine applies allocations itself; a serving
+	// deployment wants the server to do it so provider load — and with it
+	// the intentions of Definition 8 — reacts to the traffic it mediates.
+	apply bool
 }
 
 // ErrServerClosed reports a Submit after Close.
@@ -53,6 +59,22 @@ func (s *Server) SetMatchmaker(m Matchmaker) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.med.Match = m
+}
+
+// SetApply makes the server enqueue each mediated query on its selected
+// providers (off by default; see the apply field).
+func (s *Server) SetApply(apply bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.apply = apply
+}
+
+// applyAllocation enqueues the query's work on every selected provider.
+// Callers hold s.mu.
+func (s *Server) applyAllocation(now float64, q *model.Query, alloc *Allocation) {
+	for _, idx := range alloc.Selected {
+		alloc.Pq[idx].Assign(now, q.Units)
+	}
 }
 
 // Mediate allocates one query: concurrent intention collection, then an
@@ -91,9 +113,16 @@ func (s *Server) Mediate(ctx context.Context, q *model.Query) (*Allocation, erro
 	for i, p := range pq {
 		providers[i] = LocalProvider{P: p, Now: func() float64 { return t }}
 	}
-	ci, pi := s.collector.Collect(ctx, q, pq, LocalConsumer{C: q.Consumer}, providers)
+	ci, pi, st := s.collector.Collect(ctx, q, pq, LocalConsumer{C: q.Consumer}, providers)
 
 	alloc, err := s.med.AllocateCollected(t, q, pq, ci, pi)
+	if alloc != nil {
+		alloc.CollectErrors = st.Errors
+		alloc.CollectTimeouts = st.Timeouts
+		if s.apply {
+			s.applyAllocation(t, q, alloc)
+		}
+	}
 	s.mu.Unlock()
 	return alloc, err
 }

@@ -1,0 +1,164 @@
+package serving
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"sqlb/internal/allocator"
+	"sqlb/internal/model"
+)
+
+func smallConfig() Config {
+	return Config{
+		Model:      model.DefaultConfig().Scale(0.05), // 10 consumers, 20 providers
+		Strategy:   allocator.NewSQLB(),
+		TargetQPS:  400,
+		Workers:    2,
+		Batch:      8,
+		QueueDepth: 256,
+		Warmup:     30 * time.Millisecond,
+		Measure:    250 * time.Millisecond,
+		Seed:       11,
+	}
+}
+
+func TestDriverSmoke(t *testing.T) {
+	// Open-loop smoke run at small QPS: the driver must sustain the
+	// schedule, produce ordered latency quantiles, and keep the
+	// submitted = rejected + mediated + dropped + errors ledger exact.
+	d, err := NewDriver(smallConfig())
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Mediated == 0 {
+		t.Fatal("no mediations in the measure window")
+	}
+	if got := rep.Rejected + rep.Mediated + rep.Dropped + rep.Errors; got != rep.Submitted {
+		t.Fatalf("ledger broken: rejected %d + mediated %d + dropped %d + errors %d = %d, want submitted %d",
+			rep.Rejected, rep.Mediated, rep.Dropped, rep.Errors, got, rep.Submitted)
+	}
+	if !(rep.LatencyP50Ms <= rep.LatencyP95Ms && rep.LatencyP95Ms <= rep.LatencyP99Ms) {
+		t.Fatalf("quantiles out of order: p50 %v p95 %v p99 %v",
+			rep.LatencyP50Ms, rep.LatencyP95Ms, rep.LatencyP99Ms)
+	}
+	if rep.MediationsPerSec <= 0 {
+		t.Fatalf("mediations/sec = %v", rep.MediationsPerSec)
+	}
+	if rep.Degraded != 0 {
+		t.Fatalf("in-process batch path reported %d degraded collections", rep.Degraded)
+	}
+	// The traffic really hit the providers (SetApply): someone performed
+	// queries.
+	var performed uint64
+	for _, p := range d.Population().Providers {
+		performed += p.QueriesPerformed
+	}
+	if performed == 0 {
+		t.Fatal("no provider performed any query; allocations were not applied")
+	}
+}
+
+func TestDriverSingleQueryPath(t *testing.T) {
+	// Batch=1 exercises the per-query concurrent-collection path end to end.
+	cfg := smallConfig()
+	cfg.Batch = 1
+	cfg.TargetQPS = 150
+	cfg.Measure = 150 * time.Millisecond
+	d, err := NewDriver(cfg)
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Mediated == 0 {
+		t.Fatal("no mediations on the Batch=1 path")
+	}
+}
+
+func TestSubmitBackpressure(t *testing.T) {
+	// Admission control: with no workers draining (Run not called), the
+	// bounded queue fills and the typed ErrOverloaded surfaces.
+	cfg := smallConfig()
+	cfg.QueueDepth = 4
+	d, err := NewDriver(cfg)
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	pop := d.Population()
+	for i := 0; i < cfg.QueueDepth; i++ {
+		q := &model.Query{ID: uint64(i + 1), Consumer: pop.Consumers[0], Units: 130, N: 1}
+		if err := d.Submit(q); err != nil {
+			t.Fatalf("submit %d within queue depth: %v", i, err)
+		}
+	}
+	q := &model.Query{ID: 99, Consumer: pop.Consumers[0], Units: 130, N: 1}
+	if err := d.Submit(q); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("submit into full queue: err = %v, want ErrOverloaded", err)
+	}
+}
+
+func TestDriverOverloadRejects(t *testing.T) {
+	// Drive far past what a tiny queue + slow draining admits: rejections
+	// must show up in the report (backpressure is observable end to end).
+	cfg := smallConfig()
+	cfg.TargetQPS = 20000
+	cfg.QueueDepth = 8
+	cfg.Workers = 1
+	cfg.Warmup = 0
+	cfg.Measure = 120 * time.Millisecond
+	d, err := NewDriver(cfg)
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	rep, err := d.Run(context.Background())
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if rep.Rejected == 0 {
+		t.Fatalf("expected rejections under a 20k qps drive into a depth-8 queue; report: %+v", rep)
+	}
+}
+
+func TestDriverConfigValidation(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Strategy = nil
+	if _, err := NewDriver(cfg); err == nil {
+		t.Fatal("strategy-less config accepted")
+	}
+	cfg = smallConfig()
+	cfg.TargetQPS = 0
+	if _, err := NewDriver(cfg); err == nil {
+		t.Fatal("zero QPS accepted")
+	}
+	cfg = smallConfig()
+	cfg.Measure = 0
+	if _, err := NewDriver(cfg); err == nil {
+		t.Fatal("zero measure window accepted")
+	}
+}
+
+func TestDriverContextCancel(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Measure = 10 * time.Second // cancel cuts it short
+	d, err := NewDriver(cfg)
+	if err != nil {
+		t.Fatalf("NewDriver: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	if _, err := d.Run(ctx); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 3*time.Second {
+		t.Fatalf("Run ignored cancellation for %v", elapsed)
+	}
+}

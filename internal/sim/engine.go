@@ -199,6 +199,14 @@ func (e *Engine) handleArrival() {
 		e.dropped++
 		return
 	}
+	if len(alloc.Selected) == 0 {
+		// The allocator selected nobody (an empty Selected set is a legal
+		// strategy outcome). Registering it in-flight would leak: with
+		// remaining=0 no completion event ever deletes the entry, so the
+		// query would count as issued but never complete nor drop.
+		e.dropped++
+		return
+	}
 	fl := &inflightQuery{issuedAt: q.IssuedAt, remaining: len(alloc.Selected)}
 	if e.opts.Config.ReputationFeedbackAlpha > 0 {
 		fl.consumer = q.Consumer
@@ -379,6 +387,7 @@ func (e *Engine) buildResult() *Result {
 		IssuedQueries:      e.issued,
 		CompletedQueries:   e.completed,
 		DroppedQueries:     e.dropped,
+		InFlightAtEnd:      len(e.inflight),
 		MaxResponseTime:    e.respMax,
 		ResponseHistogram:  e.respHist,
 		ProviderDepartures: e.departuresP,

@@ -1,0 +1,60 @@
+package sim
+
+import (
+	"testing"
+
+	"sqlb/internal/allocator"
+	"sqlb/internal/workload"
+)
+
+// emptyAllocator is a strategy that selects nobody — the legal outcome that
+// used to leak an inflight entry with remaining=0.
+type emptyAllocator struct{}
+
+func (emptyAllocator) Name() string                      { return "empty" }
+func (emptyAllocator) Allocate(*allocator.Request) []int { return nil }
+
+func TestEmptySelectionCountsAsDrop(t *testing.T) {
+	// Regression: an allocator returning an empty Selected set registered
+	// an inflight entry no completion event ever deleted, so the query
+	// counted as issued but never completed nor dropped.
+	opts := smallOptions(emptyAllocator{}, 0.5, 200)
+	eng, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res := eng.Run()
+	if res.IssuedQueries == 0 {
+		t.Fatal("no queries issued; test needs arrivals")
+	}
+	if res.CompletedQueries != 0 {
+		t.Fatalf("completed = %d, want 0 (nobody selected)", res.CompletedQueries)
+	}
+	if res.DroppedQueries != res.IssuedQueries {
+		t.Fatalf("dropped = %d, want %d (every empty selection is a drop)",
+			res.DroppedQueries, res.IssuedQueries)
+	}
+	if res.InFlightAtEnd != 0 {
+		t.Fatalf("in-flight at end = %d, want 0 (the leak)", res.InFlightAtEnd)
+	}
+}
+
+// TestQueryAccountingInvariant pins the ledger on a normal run:
+// Issued = Completed + Dropped + InFlightAtEnd.
+func TestQueryAccountingInvariant(t *testing.T) {
+	opts := smallOptions(allocator.NewSQLB(), 0.9, 300)
+	opts.Workload = workload.Constant(0.9)
+	eng, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	res := eng.Run()
+	got := res.CompletedQueries + res.DroppedQueries + uint64(res.InFlightAtEnd)
+	if got != res.IssuedQueries {
+		t.Fatalf("completed %d + dropped %d + inflight %d = %d, want issued %d",
+			res.CompletedQueries, res.DroppedQueries, res.InFlightAtEnd, got, res.IssuedQueries)
+	}
+	if res.InFlightAtEnd == 0 && res.CompletedQueries == 0 {
+		t.Fatal("degenerate run: nothing completed or in flight")
+	}
+}

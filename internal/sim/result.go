@@ -77,10 +77,15 @@ type Result struct {
 	Final Sample
 
 	// IssuedQueries counts arrivals, CompletedQueries completions within
-	// the horizon, DroppedQueries arrivals no provider could take.
+	// the horizon, DroppedQueries arrivals no provider could take (empty
+	// Pq, or an allocator that selected nobody).
 	IssuedQueries    uint64
 	CompletedQueries uint64
 	DroppedQueries   uint64
+	// InFlightAtEnd counts queries still executing when the horizon
+	// closed: Issued = Completed + Dropped + InFlightAtEnd on a healthy
+	// run — the invariant that exposes accounting leaks.
+	InFlightAtEnd int
 
 	// MeanResponseTime is over all completed queries (seconds).
 	MeanResponseTime float64

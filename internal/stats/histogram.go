@@ -16,6 +16,7 @@ type Histogram struct {
 	lnG     float64
 	buckets []uint64
 	count   uint64
+	pos     uint64 // positive observations (the ones sum covers)
 	sum     float64
 	max     float64
 	under   uint64 // observations below min
@@ -48,6 +49,13 @@ func DefaultResponseHistogram() *Histogram {
 	return NewHistogram(0.01, 1.25, 64)
 }
 
+// DefaultLatencyHistogram covers service-side mediation latencies
+// (1 µs … ≈1 day) — the range the serving driver's p50/p95/p99 report
+// feeds from.
+func DefaultLatencyHistogram() *Histogram {
+	return NewHistogram(1e-6, 1.3, 96)
+}
+
 // Observe records one observation. Non-positive and NaN observations count
 // into the underflow bucket.
 func (h *Histogram) Observe(v float64) {
@@ -56,6 +64,7 @@ func (h *Histogram) Observe(v float64) {
 		h.under++
 		return
 	}
+	h.pos++
 	h.sum += v
 	if v > h.max {
 		h.max = v
@@ -74,12 +83,15 @@ func (h *Histogram) Observe(v float64) {
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 { return h.count }
 
-// Mean returns the mean of the positive observations (0 when empty).
+// Mean returns the mean of the positive observations (0 when none). sum
+// only accumulates positive observations, so it is divided by their count,
+// not by Count(): NaN/underflow observations land in the underflow bucket
+// and must not bias the mean downward.
 func (h *Histogram) Mean() float64 {
-	if h.count == 0 {
+	if h.pos == 0 {
 		return 0
 	}
-	return h.sum / float64(h.count)
+	return h.sum / float64(h.pos)
 }
 
 // Max returns the largest observation seen.
@@ -128,6 +140,7 @@ func (h *Histogram) Merge(other *Histogram) error {
 		h.buckets[i] += c
 	}
 	h.count += other.count
+	h.pos += other.pos
 	h.sum += other.sum
 	h.under += other.under
 	if other.max > h.max {

@@ -114,6 +114,61 @@ func TestHistogramString(t *testing.T) {
 	}
 }
 
+func TestHistogramMeanIgnoresUnderflow(t *testing.T) {
+	// Regression: sum accumulates only positive observations, so the mean
+	// must divide by the positive count — NaN/non-positive observations
+	// used to deflate it (sum/count with count including them).
+	h := DefaultResponseHistogram()
+	h.Observe(2)
+	h.Observe(4)
+	h.Observe(0)          // underflow
+	h.Observe(-1)         // underflow
+	h.Observe(math.NaN()) // underflow
+	if got := h.Mean(); math.Abs(got-3) > 1e-12 {
+		t.Fatalf("mean = %v, want 3 (positive observations only)", got)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5 (underflow still counted)", h.Count())
+	}
+}
+
+func TestHistogramMeanMergeProperty(t *testing.T) {
+	// Merged mean equals the mean of the combined positive observations,
+	// regardless of how many non-positive observations each side saw.
+	f := func(raw []int16, split uint8) bool {
+		a, b := DefaultResponseHistogram(), DefaultResponseHistogram()
+		cut := 0
+		if len(raw) > 0 {
+			cut = int(split) % (len(raw) + 1)
+		}
+		var sum float64
+		var pos uint64
+		for i, v := range raw {
+			x := float64(v) / 100 // mixed-sign observations
+			h := a
+			if i >= cut {
+				h = b
+			}
+			h.Observe(x)
+			if x > 0 {
+				sum += x
+				pos++
+			}
+		}
+		if err := a.Merge(b); err != nil {
+			return false
+		}
+		want := 0.0
+		if pos > 0 {
+			want = sum / float64(pos)
+		}
+		return math.Abs(a.Mean()-want) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
 func TestHistogramQuantileMonotoneProperty(t *testing.T) {
 	f := func(raw []float64) bool {
 		h := DefaultResponseHistogram()

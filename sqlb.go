@@ -106,6 +106,12 @@ type (
 	// queries from any goroutine, per-query concurrent intention fan-out,
 	// serialized allocation commits.
 	MediationServer = mediator.Server
+	// MediationBatchResult is one query's outcome within a batched
+	// mediation turn (MediationServer.MediateBatch).
+	MediationBatchResult = mediator.BatchResult
+	// CollectStats accounts for intention answers that fell back to the
+	// collector's Default (errored or timed-out participants).
+	CollectStats = mediator.CollectStats
 )
 
 // Simulation (Section 6.1 substrate).

@@ -26,17 +26,21 @@ type Benchmark struct {
 	Metrics    map[string]float64 `json:"metrics,omitempty"`
 }
 
-// Report is the whole BENCH_results.json document.
+// Report is the whole BENCH_results.json document. Serving holds an
+// embedded sqlb-serve JSON report (mediations/sec + latency percentiles)
+// when `-serving file` points at one.
 type Report struct {
-	GoVersion  string      `json:"go_version"`
-	GOOS       string      `json:"goos"`
-	GOARCH     string      `json:"goarch"`
-	CPUs       int         `json:"cpus"`
-	Benchmarks []Benchmark `json:"benchmarks"`
+	GoVersion  string          `json:"go_version"`
+	GOOS       string          `json:"goos"`
+	GOARCH     string          `json:"goarch"`
+	CPUs       int             `json:"cpus"`
+	Benchmarks []Benchmark     `json:"benchmarks"`
+	Serving    json.RawMessage `json:"serving,omitempty"`
 }
 
 func main() {
 	out := flag.String("out", "BENCH_results.json", "output file")
+	serving := flag.String("serving", "", "sqlb-serve -json report to embed under the \"serving\" key (missing file = warn, not fail)")
 	flag.Parse()
 
 	report := Report{
@@ -62,6 +66,19 @@ func main() {
 	if len(report.Benchmarks) == 0 {
 		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines found on stdin")
 		os.Exit(1)
+	}
+
+	// The serving record is optional: a bench run without a prior sqlb-serve
+	// pass should still produce a valid BENCH_results.json.
+	if *serving != "" {
+		data, err := os.ReadFile(*serving)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: serving report skipped: %v\n", err)
+		} else if !json.Valid(data) {
+			fmt.Fprintf(os.Stderr, "benchjson: serving report %s skipped: not valid JSON\n", *serving)
+		} else {
+			report.Serving = json.RawMessage(data)
+		}
 	}
 
 	data, err := json.MarshalIndent(report, "", "  ")
