@@ -7,7 +7,7 @@
 //	sqlb-experiments [-run id[,id...]] [-scale f] [-duration s] [-sweep s]
 //	                 [-repeats n] [-seed n] [-workers n] [-workloads csv]
 //	                 [-classes k] [-selectivity s] [-class-skew z]
-//	                 [-selectivities csv] [-out dir] [-list]
+//	                 [-selectivities csv] [-scenarios csv] [-out dir] [-list]
 //
 // The paper's full scale is -scale 1 -duration 10000 -sweep 10000
 // -repeats 10; the defaults reproduce the same shapes at laptop cost.
@@ -44,6 +44,7 @@ func main() {
 		select_   = flag.Float64("selectivity", 0, "fraction of classes each provider advertises (0 or 1 = all)")
 		skew      = flag.Float64("class-skew", 0, "Zipf exponent of query-class popularity (0 = uniform)")
 		sels      = flag.String("selectivities", "", "comma-separated selectivities for ext-selectivity (default 0.125,0.25,0.5,0.75,1)")
+		scens     = flag.String("scenarios", "", "comma-separated scenario presets or files for ext-scenarios (default: every preset)")
 	)
 	flag.Parse()
 
@@ -70,6 +71,11 @@ func main() {
 	}
 	cfg.Workloads = parseFloats(*workloads, "-workloads")
 	cfg.Selectivities = parseFloats(*sels, "-selectivities")
+	if *scens != "" {
+		for _, part := range strings.Split(*scens, ",") {
+			cfg.Scenarios = append(cfg.Scenarios, strings.TrimSpace(part))
+		}
+	}
 	lab := experiments.NewLab(cfg)
 
 	ids := make([]string, 0, len(experiments.Registry))

@@ -12,10 +12,17 @@
 // -class-skew z draws query classes with Zipf(z) popularity. Queries whose
 // class no provider advertises are counted as dropped.
 //
+// Scenarios: -scenario overlays time-varying load and churn — a preset
+// name (diurnal, flash-crowd, maintenance-window, outage-30pct,
+// staged-churn) or a scenario file (see internal/scenario.Parse for the
+// format). A scenario's load curve replaces -workload/-ramp; its churn
+// waves take providers down (and bring them back) as scheduled events.
+//
 // Usage:
 //
 //	sqlb-sim [-method sqlb|capacity|mariposa|random|knbest|sqlb-econ]
-//	         [-workload f] [-ramp] [-duration s] [-scale f] [-seed n]
+//	         [-workload f] [-ramp] [-scenario name|file]
+//	         [-duration s] [-scale f] [-seed n]
 //	         [-repeats n] [-workers n]
 //	         [-classes k] [-selectivity s] [-class-skew z]
 //	         [-autonomy off|dissat-starve|full] [-csv file]
@@ -31,6 +38,7 @@ import (
 
 	"sqlb/internal/allocator"
 	"sqlb/internal/model"
+	"sqlb/internal/scenario"
 	"sqlb/internal/sim"
 	"sqlb/internal/stats"
 	"sqlb/internal/workload"
@@ -51,6 +59,7 @@ func main() {
 		classes  = flag.Int("classes", 0, "query classes spread over 130-150 units (0 = the paper's two)")
 		select_  = flag.Float64("selectivity", 0, "fraction of classes each provider advertises (0 or 1 = all, the paper's setup)")
 		skew     = flag.Float64("class-skew", 0, "Zipf exponent of query-class popularity (0 = uniform)")
+		scenFlag = flag.String("scenario", "", "time-varying load/churn scenario: a preset ("+strings.Join(scenario.Names(), ", ")+") or a scenario file")
 	)
 	flag.Parse()
 
@@ -63,6 +72,13 @@ func main() {
 	var profile workload.Profile = workload.Constant(*frac)
 	if *ramp {
 		profile = workload.Ramp{From: 0.3, To: 1.0, Duration: *duration}
+	}
+	var scn *scenario.Scenario
+	if *scenFlag != "" {
+		var err error
+		if scn, err = scenario.Resolve(*scenFlag); err != nil {
+			fatal("%v", err)
+		}
 	}
 	var auto sim.Autonomy
 	switch *autonomy {
@@ -101,6 +117,7 @@ func main() {
 				Config:         cfg,
 				Strategy:       strategy,
 				Workload:       profile,
+				Scenario:       scn,
 				Duration:       *duration,
 				Seed:           repSeed,
 				SampleInterval: *duration / 50,
@@ -146,6 +163,10 @@ func main() {
 	}
 
 	fmt.Printf("method            %s\n", res.Method)
+	if scn != nil {
+		fmt.Printf("scenario          %s (%d load knots, %d waves): %s\n",
+			scn.Name, loadKnots(scn), len(scn.Waves), scn.Description)
+	}
 	fmt.Printf("duration          %.0f sim-seconds (seed %d)\n", res.Duration, res.Seed)
 	fmt.Printf("population        %d consumers, %d providers\n", res.Consumers, res.Providers)
 	if *classes > 1 || (*select_ > 0 && *select_ < 1) || *skew > 0 {
@@ -179,12 +200,15 @@ func main() {
 		}
 		fmt.Printf("departures        providers %.0f%% (", 100*res.ProviderDepartureRate())
 		parts := []string{}
-		for _, r := range model.DepartureReasons {
+		for _, r := range model.AllDepartureReasons {
 			if reasons[r] > 0 {
 				parts = append(parts, fmt.Sprintf("%s %d", r, reasons[r]))
 			}
 		}
 		fmt.Printf("%s), consumers %.0f%%\n", strings.Join(parts, ", "), 100*res.ConsumerDepartureRate())
+	}
+	if len(res.ProviderJoins) > 0 {
+		fmt.Printf("rejoins           %d providers re-registered by rejoin waves\n", len(res.ProviderJoins))
 	}
 
 	if *csvPath != "" {
@@ -205,6 +229,10 @@ func main() {
 		add("util_fairness", func(s sim.Sample) float64 { return s.Utilization.Fairness })
 		add("resp_mean", func(s sim.Sample) float64 { return s.ResponseTimeMean })
 		add("alive_providers", func(s sim.Sample) float64 { return float64(s.AliveProviders) })
+		if scn != nil {
+			add("prov_departed_cum", func(s sim.Sample) float64 { return float64(s.ProviderDepartureCount) })
+			add("prov_joined_cum", func(s sim.Sample) float64 { return float64(s.ProviderJoinCount) })
+		}
 		if err := os.WriteFile(*csvPath, []byte(chart.CSV()), 0o644); err != nil {
 			fatal("write %s: %v", *csvPath, err)
 		}
@@ -228,6 +256,14 @@ func strategyFor(name string, seed uint64) (allocator.Allocator, error) {
 		return allocator.NewSQLBEconomic(), nil
 	}
 	return nil, fmt.Errorf("unknown method %q", name)
+}
+
+// loadKnots counts the scenario's load-curve knots (0 without a curve).
+func loadKnots(s *scenario.Scenario) int {
+	if s.Load == nil {
+		return 0
+	}
+	return len(s.Load.Knots)
 }
 
 func fatal(format string, args ...any) {

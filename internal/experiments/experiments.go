@@ -69,6 +69,10 @@ type Config struct {
 	// advertises max(1, round(s·classes)) classes, so finer-grained
 	// values can round to the same effective configuration).
 	Selectivities []float64
+	// Scenarios are the scenario names (presets or file paths) swept by the
+	// ext-scenarios experiment. Default: every preset in the
+	// internal/scenario library.
+	Scenarios []string
 }
 
 // DefaultConfig returns the laptop-scale defaults.

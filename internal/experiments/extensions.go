@@ -19,6 +19,7 @@ var ExtensionRegistry = []Spec{
 	{"ext-upsilon", "Ablation: consumer υ (preferences vs reputation)", runExtUpsilon},
 	{"ext-methods", "Extension strategies vs SQLB (KnBest, SQLB-econ)", runExtMethods},
 	{"ext-selectivity", "Capability-selectivity sweep (heterogeneous matchmaking)", runExtSelectivity},
+	{"ext-scenarios", "Scenario sweep: time-varying load and churn presets", runExtScenarios},
 }
 
 // FindAny looks an experiment up in both registries.

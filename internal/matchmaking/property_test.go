@@ -69,6 +69,78 @@ func TestIndexEquivalentToNaiveScanUnderChurn(t *testing.T) {
 	}
 }
 
+// TestIndexEquivalentUnderWaveChurn extends the churn property to the
+// scenario engine's wave pattern: instead of one provider at a time, an
+// outage wave removes a whole batch in one burst (flag + Remove each) and
+// a rejoin wave re-registers a batch of the outage victims. Equivalence
+// with the naive scan must hold after every wave — batches must not leave
+// posting lists in a partially-pruned state.
+func TestIndexEquivalentUnderWaveChurn(t *testing.T) {
+	oracle := mediator.ByCapability()
+	rng := randx.New(20260807)
+
+	for trial := 0; trial < 40; trial++ {
+		nClasses := 1 + rng.Pick(10)
+		nProviders := 2 + rng.Pick(80)
+		cfg := model.DefaultConfig().WithClasses(nClasses)
+		cfg.Consumers = 1
+		cfg.Providers = nProviders
+		cfg.CapabilitySelectivity = 0.1 + rng.Float64()*0.9
+		cfg.ClassSkew = rng.Float64()
+		pop := model.NewPopulation(cfg, randx.New(uint64(trial)+100), 0)
+		ix := BuildIndex(pop)
+
+		check := func(wave int) {
+			t.Helper()
+			for c := 0; c < nClasses; c++ {
+				q := &model.Query{Class: c}
+				want := oracle.Match(q, pop)
+				got := ix.Lookup(c)
+				if len(got) != len(want) {
+					t.Fatalf("trial %d wave %d class %d: index |Pq| = %d, scan %d",
+						trial, wave, c, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("trial %d wave %d class %d pos %d: index provider %d, scan provider %d",
+							trial, wave, c, i, got[i].ID, want[i].ID)
+					}
+				}
+			}
+		}
+
+		var down []*model.Provider
+		for wave := 0; wave < 8; wave++ {
+			if rng.Pick(2) == 0 || len(down) == 0 {
+				// Outage wave: a random fraction of the alive pool, picked
+				// and removed as one batch (the engine's applyWave shape).
+				var alive []*model.Provider
+				for _, p := range pop.Providers {
+					if p.Alive {
+						alive = append(alive, p)
+					}
+				}
+				n := rng.Pick(len(alive) + 1)
+				for _, i := range rng.Perm(len(alive))[:n] {
+					p := alive[i]
+					p.Alive = false
+					ix.Remove(p)
+					down = append(down, p)
+				}
+			} else {
+				// Rejoin wave: a batch of the departed re-registers.
+				n := 1 + rng.Pick(len(down))
+				for _, p := range down[:n] {
+					p.Alive = true
+					ix.Add(p)
+				}
+				down = down[n:]
+			}
+			check(wave)
+		}
+	}
+}
+
 // TestIndexEquivalenceWithHandEditedCapabilities covers capability sets
 // that the population builder never produces: empty sets, single-class
 // specialists, and sets edited after the index was built (rebuilt via

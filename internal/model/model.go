@@ -66,11 +66,15 @@ type Query struct {
 type DepartureReason int
 
 // Departure reasons. ReasonNone marks a participant still in the system.
+// ReasonOutage is not a Section 6.3.2 autonomy decision but a scheduled
+// scenario event (an outage or maintenance wave); unlike the autonomy
+// reasons it is reversible — a rejoin wave re-registers the provider.
 const (
 	ReasonNone DepartureReason = iota
 	ReasonDissatisfaction
 	ReasonStarvation
 	ReasonOverutilization
+	ReasonOutage
 )
 
 // String returns the reason label used in Table 3.
@@ -84,9 +88,19 @@ func (r DepartureReason) String() string {
 		return "starvation"
 	case ReasonOverutilization:
 		return "overutilization"
+	case ReasonOutage:
+		return "outage"
 	}
 	return fmt.Sprintf("DepartureReason(%d)", int(r))
 }
 
-// DepartureReasons lists the three actual reasons in Table 3 order.
+// DepartureReasons lists the three autonomy reasons in Table 3 order.
+// ReasonOutage is deliberately excluded: Table 3 accounts for voluntary
+// departures, and adding a scenario row would change the recorded artifact
+// layout. Use AllDepartureReasons where scheduled churn must show up.
 var DepartureReasons = []DepartureReason{ReasonDissatisfaction, ReasonStarvation, ReasonOverutilization}
+
+// AllDepartureReasons adds the scenario-driven outage reason to the
+// autonomy reasons — the list CLIs iterate when printing departure
+// breakdowns of churn scenarios.
+var AllDepartureReasons = []DepartureReason{ReasonDissatisfaction, ReasonStarvation, ReasonOverutilization, ReasonOutage}

@@ -1,0 +1,57 @@
+package scenario
+
+import (
+	"reflect"
+	"testing"
+)
+
+// FuzzParse fuzzes the scenario parser. The contract under arbitrary
+// bytes: Parse never panics; when it accepts a document, the scenario
+// passes Validate and re-parsing the same bytes is deterministic (same
+// scenario, field for field). Run longer with
+//
+//	go test -fuzz FuzzParse -fuzztime 60s ./internal/scenario
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"",
+		"name: a\nload:\n  - {t: 0, v: 0.5}\n",
+		"normalized: true\ninterp: cosine\nperiod: 0.5\nload:\n  - {t: 0, v: 0.25}\n  - {t: 0.25, v: 0.9}\n  - {t: 0.5, v: 0.25}\n",
+		"load:\n  - t: 0\n    v: 0.4\n  - t: 1\n    v: 1.5\n",
+		"waves:\n  - {t: 0.5, kind: outage, fraction: 0.3}\n  - {t: 0.9, kind: rejoin, fraction: 1}\n",
+		"waves:\n  - {t: 10, kind: outage, count: 5}\n",
+		"mix:\n  - {t: 0, weights: [1, 1]}\n  - {t: 1, weights: [3, 1]}\n",
+		"# comment only\n",
+		"name: x\ndescription: 'quoted'\nload:\n  - {t: 0, v: 0}\n",
+		"load:\n  - {t: 5, v: 1}\n  - {t: 2, v: 1}\n",
+		"load:\n  - {t: 0, v: -0.5}\n",
+		"load:\n\t- {t: 0, v: 1}\n",
+		"load:\n  - {t: 0, v: {x: 1}}\n",
+		"mix:\n  - {t: 0, weights: [1, 2}\n",
+		"normalized: yes\n",
+		"interp: cubic\nload:\n  - {t: 0, v: 1}\n",
+		"waves:\n  - {t: 1, kind: outage, fraction: 0.5, count: 2}\n",
+		"load: [1, 2]\n",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			if s != nil {
+				t.Fatalf("Parse returned both a scenario and an error: %v", err)
+			}
+			return
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Parse accepted a scenario that fails Validate: %v\ninput: %q", err, data)
+		}
+		again, err := Parse(data)
+		if err != nil {
+			t.Fatalf("re-parse of accepted input errored: %v\ninput: %q", err, data)
+		}
+		if !reflect.DeepEqual(s, again) {
+			t.Fatalf("re-parse differs:\n first %+v\nsecond %+v\ninput: %q", s, again, data)
+		}
+	})
+}

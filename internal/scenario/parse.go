@@ -1,0 +1,363 @@
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads a scenario from its declarative text form, a small YAML
+// subset: top-level `key: value` scalars plus block lists of mappings
+// (block style or `- {k: v, ...}` flow style). Example:
+//
+//	name: surge-then-outage
+//	normalized: true
+//	interp: linear
+//	load:
+//	  - {t: 0, v: 0.4}
+//	  - {t: 0.5, v: 1.2}
+//	  - {t: 1, v: 0.4}
+//	waves:
+//	  - {t: 0.6, kind: outage, fraction: 0.25}
+//	  - {t: 0.9, kind: rejoin, fraction: 1}
+//	mix:
+//	  - {t: 0, weights: [1, 1]}
+//	  - {t: 1, weights: [3, 1]}
+//
+// Top-level scalars: name, description, normalized (true/false), interp
+// (step/linear/cosine), period. List sections: load (knots t/v), waves
+// (t, kind, fraction or count), mix (t, weights). Malformed input — bad
+// syntax, unknown keys, unparsable numbers, knots out of order, negative
+// rates — returns an error; Parse never panics and only returns scenarios
+// that pass Validate.
+func Parse(data []byte) (*Scenario, error) {
+	p := &parser{items: map[string][]item{}}
+	for i, raw := range strings.Split(string(data), "\n") {
+		if err := p.line(i+1, raw); err != nil {
+			return nil, err
+		}
+	}
+	return p.build()
+}
+
+// item is one list element: ordered key/value pairs with the line they
+// started on (for error messages).
+type item struct {
+	line   int
+	keys   []string
+	values map[string]string
+}
+
+func (it *item) set(line int, key, value string) error {
+	if _, dup := it.values[key]; dup {
+		return fmt.Errorf("scenario: line %d: duplicate key %q in list item", line, key)
+	}
+	it.keys = append(it.keys, key)
+	it.values[key] = value
+	return nil
+}
+
+type parser struct {
+	scalars  map[string]string
+	items    map[string][]item
+	started  map[string]bool // sections opened so far (duplicate guard)
+	listKey  string          // current block-list section ("" at top level)
+	haveItem bool            // current section has an open item to append fields to
+}
+
+var listKeys = map[string]bool{"load": true, "waves": true, "mix": true}
+var scalarKeys = map[string]bool{
+	"name": true, "description": true, "normalized": true, "interp": true, "period": true,
+}
+
+func (p *parser) line(n int, raw string) error {
+	// Strip comments and trailing whitespace; skip blank lines.
+	if i := strings.IndexByte(raw, '#'); i >= 0 {
+		raw = raw[:i]
+	}
+	line := strings.TrimRight(raw, " \t")
+	if strings.TrimSpace(line) == "" {
+		return nil
+	}
+	indent := len(line) - len(strings.TrimLeft(line, " "))
+	content := line[indent:]
+	if strings.HasPrefix(content, "\t") {
+		return fmt.Errorf("scenario: line %d: tabs are not allowed in indentation", n)
+	}
+
+	if indent == 0 {
+		p.listKey, p.haveItem = "", false
+		key, value, err := splitField(n, content)
+		if err != nil {
+			return err
+		}
+		switch {
+		case listKeys[key]:
+			if value != "" {
+				return fmt.Errorf("scenario: line %d: %q starts a list and takes no inline value", n, key)
+			}
+			if p.started[key] {
+				return fmt.Errorf("scenario: line %d: duplicate section %q", n, key)
+			}
+			if p.started == nil {
+				p.started = map[string]bool{}
+			}
+			p.started[key] = true
+			p.listKey = key
+		case scalarKeys[key]:
+			if p.scalars == nil {
+				p.scalars = map[string]string{}
+			}
+			if _, dup := p.scalars[key]; dup {
+				return fmt.Errorf("scenario: line %d: duplicate key %q", n, key)
+			}
+			p.scalars[key] = value
+		default:
+			return fmt.Errorf("scenario: line %d: unknown key %q", n, key)
+		}
+		return nil
+	}
+
+	if p.listKey == "" {
+		return fmt.Errorf("scenario: line %d: indented content outside a list section", n)
+	}
+	if strings.HasPrefix(content, "-") {
+		rest := strings.TrimSpace(content[1:])
+		if rest == "" {
+			return fmt.Errorf("scenario: line %d: empty list item", n)
+		}
+		it := item{line: n, values: map[string]string{}}
+		if strings.HasPrefix(rest, "{") {
+			if err := parseFlowMap(n, rest, &it); err != nil {
+				return err
+			}
+		} else {
+			key, value, err := splitField(n, rest)
+			if err != nil {
+				return err
+			}
+			if err := it.set(n, key, value); err != nil {
+				return err
+			}
+		}
+		p.items[p.listKey] = append(p.items[p.listKey], it)
+		p.haveItem = true
+		return nil
+	}
+	// Continuation field of the current block-style item.
+	if !p.haveItem {
+		return fmt.Errorf("scenario: line %d: field outside a list item (missing \"- \")", n)
+	}
+	key, value, err := splitField(n, content)
+	if err != nil {
+		return err
+	}
+	items := p.items[p.listKey]
+	return items[len(items)-1].set(n, key, value)
+}
+
+func splitField(n int, s string) (key, value string, err error) {
+	i := strings.IndexByte(s, ':')
+	if i < 0 {
+		return "", "", fmt.Errorf("scenario: line %d: expected \"key: value\", got %q", n, s)
+	}
+	key = strings.TrimSpace(s[:i])
+	value = strings.TrimSpace(s[i+1:])
+	if key == "" {
+		return "", "", fmt.Errorf("scenario: line %d: empty key", n)
+	}
+	return key, strings.Trim(value, `"'`), nil
+}
+
+// parseFlowMap decodes `{k: v, k: v, ...}` into the item; commas inside
+// `[...]` weight lists do not split fields.
+func parseFlowMap(n int, s string, it *item) error {
+	if !strings.HasSuffix(s, "}") {
+		return fmt.Errorf("scenario: line %d: unterminated flow mapping %q", n, s)
+	}
+	inner := s[1 : len(s)-1]
+	depth, start := 0, 0
+	fields := []string{}
+	for i := 0; i < len(inner); i++ {
+		switch inner[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+			if depth < 0 {
+				return fmt.Errorf("scenario: line %d: unbalanced brackets in %q", n, s)
+			}
+		case ',':
+			if depth == 0 {
+				fields = append(fields, inner[start:i])
+				start = i + 1
+			}
+		case '{', '}':
+			return fmt.Errorf("scenario: line %d: nested mappings are not supported", n)
+		}
+	}
+	if depth != 0 {
+		return fmt.Errorf("scenario: line %d: unbalanced brackets in %q", n, s)
+	}
+	fields = append(fields, inner[start:])
+	for _, f := range fields {
+		if strings.TrimSpace(f) == "" {
+			return fmt.Errorf("scenario: line %d: empty field in flow mapping", n)
+		}
+		key, value, err := splitField(n, strings.TrimSpace(f))
+		if err != nil {
+			return err
+		}
+		if err := it.set(n, key, value); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// build assembles and validates the scenario from the parsed pieces.
+func (p *parser) build() (*Scenario, error) {
+	s := &Scenario{
+		Name:        p.scalars["name"],
+		Description: p.scalars["description"],
+	}
+	switch v := p.scalars["normalized"]; v {
+	case "", "false":
+	case "true":
+		s.Normalized = true
+	default:
+		return nil, fmt.Errorf("scenario: normalized must be true or false, got %q", v)
+	}
+	interp, err := ParseInterp(p.scalars["interp"])
+	if err != nil {
+		return nil, err
+	}
+	period := 0.0
+	if v, ok := p.scalars["period"]; ok {
+		period, err = parseNumber(0, "period", v)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if p.started["load"] {
+		curve := &Curve{Interp: interp, Period: period}
+		for _, it := range p.items["load"] {
+			k := Knot{}
+			for _, key := range it.keys {
+				switch key {
+				case "t":
+					k.T, err = parseNumber(it.line, "t", it.values[key])
+				case "v":
+					k.V, err = parseNumber(it.line, "v", it.values[key])
+				default:
+					err = fmt.Errorf("scenario: line %d: unknown load knot key %q (want t, v)", it.line, key)
+				}
+				if err != nil {
+					return nil, err
+				}
+			}
+			if err := requireKeys(it, "t", "v"); err != nil {
+				return nil, err
+			}
+			curve.Knots = append(curve.Knots, k)
+		}
+		s.Load = curve
+	} else if period != 0 || p.scalars["interp"] != "" {
+		return nil, fmt.Errorf("scenario: interp/period given without a load section")
+	}
+
+	for _, it := range p.items["waves"] {
+		w := Wave{}
+		for _, key := range it.keys {
+			switch key {
+			case "t":
+				w.Time, err = parseNumber(it.line, "t", it.values[key])
+			case "kind":
+				w.Kind, err = ParseWaveKind(it.values[key])
+			case "fraction":
+				w.Fraction, err = parseNumber(it.line, "fraction", it.values[key])
+			case "count":
+				var c int64
+				c, err = strconv.ParseInt(it.values[key], 10, 32)
+				if err != nil {
+					err = fmt.Errorf("scenario: line %d: bad count %q", it.line, it.values[key])
+				}
+				w.Count = int(c)
+			default:
+				err = fmt.Errorf("scenario: line %d: unknown wave key %q (want t, kind, fraction, count)", it.line, key)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := requireKeys(it, "t", "kind"); err != nil {
+			return nil, err
+		}
+		s.Waves = append(s.Waves, w)
+	}
+
+	for _, it := range p.items["mix"] {
+		k := MixKnot{}
+		for _, key := range it.keys {
+			switch key {
+			case "t":
+				k.T, err = parseNumber(it.line, "t", it.values[key])
+			case "weights":
+				k.Weights, err = parseWeights(it.line, it.values[key])
+			default:
+				err = fmt.Errorf("scenario: line %d: unknown mix key %q (want t, weights)", it.line, key)
+			}
+			if err != nil {
+				return nil, err
+			}
+		}
+		if err := requireKeys(it, "t", "weights"); err != nil {
+			return nil, err
+		}
+		s.Mix = append(s.Mix, k)
+	}
+
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+func requireKeys(it item, keys ...string) error {
+	for _, key := range keys {
+		if _, ok := it.values[key]; !ok {
+			return fmt.Errorf("scenario: line %d: list item is missing %q", it.line, key)
+		}
+	}
+	return nil
+}
+
+func parseNumber(line int, key, v string) (float64, error) {
+	f, err := strconv.ParseFloat(v, 64)
+	if err != nil {
+		return 0, fmt.Errorf("scenario: line %d: bad number for %s: %q", line, key, v)
+	}
+	return f, nil
+}
+
+// parseWeights decodes `[w, w, ...]`.
+func parseWeights(line int, v string) ([]float64, error) {
+	if !strings.HasPrefix(v, "[") || !strings.HasSuffix(v, "]") {
+		return nil, fmt.Errorf("scenario: line %d: weights must be a [..] list, got %q", line, v)
+	}
+	inner := strings.TrimSpace(v[1 : len(v)-1])
+	if inner == "" {
+		return nil, fmt.Errorf("scenario: line %d: weights list is empty", line)
+	}
+	parts := strings.Split(inner, ",")
+	out := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		f, err := parseNumber(line, "weights", strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}

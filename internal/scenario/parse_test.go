@@ -1,0 +1,202 @@
+package scenario
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseFullDocument(t *testing.T) {
+	doc := `
+# A surge with a partial outage and a drifting class mix.
+name: surge-then-outage
+description: "flash crowd, then 25% of providers fail"
+normalized: true
+interp: cosine
+period: 1
+
+load:
+  - {t: 0, v: 0.4}
+  - {t: 0.5, v: 1.2}   # the surge peak
+  - t: 1
+    v: 0.4
+
+waves:
+  - {t: 0.6, kind: outage, fraction: 0.25}
+  - t: 0.9
+    kind: rejoin
+    count: 10
+
+mix:
+  - {t: 0, weights: [1, 1]}
+  - {t: 1, weights: [3, 1]}
+`
+	s, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	want := &Scenario{
+		Name:        "surge-then-outage",
+		Description: "flash crowd, then 25% of providers fail",
+		Normalized:  true,
+		Load: &Curve{
+			Interp: Cosine,
+			Period: 1,
+			Knots:  []Knot{{T: 0, V: 0.4}, {T: 0.5, V: 1.2}, {T: 1, V: 0.4}},
+		},
+		Waves: []Wave{
+			{Time: 0.6, Kind: WaveOutage, Fraction: 0.25},
+			{Time: 0.9, Kind: WaveRejoin, Count: 10},
+		},
+		Mix: []MixKnot{
+			{T: 0, Weights: []float64{1, 1}},
+			{T: 1, Weights: []float64{3, 1}},
+		},
+	}
+	if !reflect.DeepEqual(s, want) {
+		t.Fatalf("Parse mismatch:\n got %+v\nwant %+v", s, want)
+	}
+}
+
+func TestParseMinimalWaveOnly(t *testing.T) {
+	s, err := Parse([]byte("waves:\n  - {t: 100, kind: outage, count: 3}\n"))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(s.Waves) != 1 || s.Waves[0].Count != 3 || s.Load != nil {
+		t.Fatalf("unexpected scenario %+v", s)
+	}
+}
+
+// TestParseRejects tries the malformed-document catalogue: every entry must
+// return an error (and, trivially by getting here, not panic). The same
+// documents seed the fuzz corpus.
+func TestParseRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the error
+	}{
+		{"knots out of order", "load:\n  - {t: 5, v: 1}\n  - {t: 2, v: 1}\n", "strictly increasing"},
+		{"duplicate knot time", "load:\n  - {t: 5, v: 1}\n  - {t: 5, v: 2}\n", "strictly increasing"},
+		{"negative rate", "load:\n  - {t: 0, v: -0.5}\n", "negative value"},
+		{"negative time", "load:\n  - {t: -1, v: 0.5}\n", "negative time"},
+		{"non-finite value", "load:\n  - {t: 0, v: NaN}\n", "not finite"},
+		{"unknown top-level key", "nmae: typo\n", `unknown key "nmae"`},
+		{"unknown interp", "interp: cubic\nload:\n  - {t: 0, v: 1}\n", "unknown interp"},
+		{"unknown wave kind", "waves:\n  - {t: 1, kind: crash, count: 1}\n", "unknown wave kind"},
+		{"wave both sizes", "waves:\n  - {t: 1, kind: outage, fraction: 0.5, count: 2}\n", "both fraction and count"},
+		{"wave no size", "waves:\n  - {t: 1, kind: outage}\n", "needs a fraction or a count"},
+		{"wave fraction beyond 1", "waves:\n  - {t: 1, kind: outage, fraction: 1.5}\n", "out of [0,1]"},
+		{"waves out of order", "waves:\n  - {t: 5, kind: outage, count: 1}\n  - {t: 2, kind: outage, count: 1}\n", "non-decreasing"},
+		{"missing wave kind", "waves:\n  - {t: 1, count: 1}\n", `missing "kind"`},
+		{"missing knot value", "load:\n  - {t: 1}\n", `missing "v"`},
+		{"tab indentation", "load:\n\t- {t: 0, v: 1}\n", "tabs"},
+		{"duplicate section", "load:\n  - {t: 0, v: 1}\nload:\n  - {t: 1, v: 1}\n", "duplicate section"},
+		{"duplicate scalar", "name: a\nname: b\n", "duplicate key"},
+		{"duplicate item key", "load:\n  - {t: 0, t: 1, v: 1}\n", "duplicate key"},
+		{"unterminated flow map", "load:\n  - {t: 0, v: 1\n", "unterminated"},
+		{"nested flow map", "load:\n  - {t: 0, v: {x: 1}}\n", "nested mappings"},
+		{"unbalanced brackets", "mix:\n  - {t: 0, weights: [1, 2}\n", "unbalanced brackets"},
+		{"bad number", "load:\n  - {t: zero, v: 1}\n", "bad number"},
+		{"bad count", "waves:\n  - {t: 1, kind: outage, count: 1.5}\n", "bad count"},
+		{"empty load section", "load:\n", "at least one knot"},
+		{"interp without load", "interp: step\n", "without a load section"},
+		{"period without load", "period: 10\n", "without a load section"},
+		{"indented outside list", "name: x\n  - {t: 0, v: 1}\n", "outside a list section"},
+		{"field outside item", "load:\n  t: 0\n", "missing \"- \""},
+		{"weights not a list", "mix:\n  - {t: 0, weights: 3}\n", "must be a [..] list"},
+		{"weights empty", "mix:\n  - {t: 0, weights: []}\n", "empty"},
+		{"mix width mismatch", "mix:\n  - {t: 0, weights: [1, 2]}\n  - {t: 1, weights: [1]}\n", "weights"},
+		{"mix zero weights", "mix:\n  - {t: 0, weights: [0, 0]}\n", "sum to zero"},
+		{"normalized beyond 1", "normalized: true\nload:\n  - {t: 0, v: 1}\n  - {t: 2, v: 1}\n", "beyond 1"},
+		{"bad normalized", "normalized: yes\nload:\n  - {t: 0, v: 1}\n", "true or false"},
+		{"empty scenario", "name: nothing-here\n", "empty scenario"},
+		{"no colon", "load:\n  - knot\n", "key: value"},
+		{"empty key", "load:\n  - : 3\n", "empty key"},
+		{"list with inline value", "load: [1, 2]\n", "takes no inline value"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatalf("Parse accepted %q: %+v", tc.doc, s)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestPresetsAreValid: every preset validates, is normalized (so it works
+// at any duration), and scales cleanly.
+func TestPresetsAreValid(t *testing.T) {
+	names := Names()
+	if len(names) < 5 {
+		t.Fatalf("expected at least 5 presets, got %v", names)
+	}
+	for _, name := range names {
+		s, ok := Preset(name)
+		if !ok {
+			t.Fatalf("Preset(%q) missing", name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Errorf("preset %q invalid: %v", name, err)
+		}
+		if !s.Normalized {
+			t.Errorf("preset %q is not normalized", name)
+		}
+		if s.Name != name {
+			t.Errorf("preset %q carries name %q", name, s.Name)
+		}
+		if err := s.Scaled(2500).Validate(); err != nil {
+			t.Errorf("preset %q scaled invalid: %v", name, err)
+		}
+	}
+}
+
+func TestResolve(t *testing.T) {
+	if s, err := Resolve("flash-crowd"); err != nil || s.Name != "flash-crowd" {
+		t.Fatalf("Resolve preset: %v, %+v", err, s)
+	}
+	path := filepath.Join(t.TempDir(), "s.yaml")
+	doc := "name: from-file\nload:\n  - {t: 0, v: 0.5}\n"
+	if err := os.WriteFile(path, []byte(doc), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Resolve(path)
+	if err != nil || s.Name != "from-file" {
+		t.Fatalf("Resolve file: %v, %+v", err, s)
+	}
+	if _, err := Resolve("no-such-preset-or-file"); err == nil {
+		t.Fatal("Resolve accepted a nonexistent scenario")
+	}
+	if _, err := Resolve(filepath.Join(t.TempDir(), "bad.yaml")); err == nil {
+		t.Fatal("Resolve accepted a missing file")
+	}
+}
+
+// TestParseExampleFile keeps examples/scenarios in working order: every
+// checked-in example must parse (they double as documentation and as the
+// fuzz seed corpus).
+func TestParseExampleFile(t *testing.T) {
+	matches, err := filepath.Glob("../../examples/scenarios/*.yaml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		t.Fatal("no example scenario files found")
+	}
+	for _, path := range matches {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Parse(data); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+}

@@ -1,0 +1,128 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"sort"
+)
+
+// presets maps the named scenario library. All presets are normalized
+// (times are fractions of the run duration), so the same shape works at
+// any -duration; builders return fresh values so callers can mutate.
+var presets = map[string]func() *Scenario{
+	// diurnal: two day/night cycles — a cosine-eased swing between a 25%
+	// night trough and a 90% midday peak, repeating every half-run.
+	"diurnal": func() *Scenario {
+		return &Scenario{
+			Name:        "diurnal",
+			Description: "two day/night load cycles between 25% and 90% of capacity",
+			Normalized:  true,
+			Load: &Curve{
+				Interp: Cosine,
+				Period: 0.5,
+				Knots:  []Knot{{T: 0, V: 0.25}, {T: 0.25, V: 0.9}, {T: 0.5, V: 0.25}},
+			},
+		}
+	},
+	// flash-crowd: steady 40% load, then a sudden surge to 150% of total
+	// capacity (a genuine overload) that decays back to the baseline.
+	"flash-crowd": func() *Scenario {
+		return &Scenario{
+			Name:        "flash-crowd",
+			Description: "40% baseline with a surge to 150% of capacity mid-run",
+			Normalized:  true,
+			Load: &Curve{
+				Interp: Linear,
+				Knots: []Knot{
+					{T: 0, V: 0.4}, {T: 0.45, V: 0.4}, {T: 0.5, V: 1.5},
+					{T: 0.6, V: 1.5}, {T: 0.7, V: 0.4}, {T: 1, V: 0.4},
+				},
+			},
+		}
+	},
+	// maintenance-window: steady 70% load while 20% of the providers go
+	// down for scheduled maintenance mid-run and rejoin afterwards.
+	"maintenance-window": func() *Scenario {
+		return &Scenario{
+			Name:        "maintenance-window",
+			Description: "70% load; 20% of providers down between 40% and 70% of the run",
+			Normalized:  true,
+			Load: &Curve{
+				Interp: Step,
+				Knots:  []Knot{{T: 0, V: 0.7}},
+			},
+			Waves: []Wave{
+				{Time: 0.4, Kind: WaveOutage, Fraction: 0.2},
+				{Time: 0.7, Kind: WaveRejoin, Fraction: 1},
+			},
+		}
+	},
+	// outage-30pct: the headline stress — 80% load (the Table 3 reference
+	// point) and an unrecovered outage of 30% of the providers mid-run.
+	"outage-30pct": func() *Scenario {
+		return &Scenario{
+			Name:        "outage-30pct",
+			Description: "80% load; 30% of providers fail at mid-run and never return",
+			Normalized:  true,
+			Load: &Curve{
+				Interp: Step,
+				Knots:  []Knot{{T: 0, V: 0.8}},
+			},
+			Waves: []Wave{
+				{Time: 0.5, Kind: WaveOutage, Fraction: 0.3},
+			},
+		}
+	},
+	// staged-churn: three successive 10% outage waves, then everything
+	// still down rejoins near the end — join events mid-run.
+	"staged-churn": func() *Scenario {
+		return &Scenario{
+			Name:        "staged-churn",
+			Description: "80% load; three 10% outage waves, full rejoin at 90% of the run",
+			Normalized:  true,
+			Load: &Curve{
+				Interp: Step,
+				Knots:  []Knot{{T: 0, V: 0.8}},
+			},
+			Waves: []Wave{
+				{Time: 0.3, Kind: WaveOutage, Fraction: 0.1},
+				{Time: 0.5, Kind: WaveOutage, Fraction: 0.1},
+				{Time: 0.7, Kind: WaveOutage, Fraction: 0.1},
+				{Time: 0.9, Kind: WaveRejoin, Fraction: 1},
+			},
+		}
+	},
+}
+
+// Preset returns a fresh copy of a named preset scenario.
+func Preset(name string) (*Scenario, bool) {
+	mk, ok := presets[name]
+	if !ok {
+		return nil, false
+	}
+	return mk(), true
+}
+
+// Names lists the preset names in sorted order.
+func Names() []string {
+	out := make([]string, 0, len(presets))
+	for name := range presets {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resolve turns a -scenario argument into a scenario: a preset name first,
+// otherwise a path to a scenario file (see Parse for the format).
+func Resolve(arg string) (*Scenario, error) {
+	if s, ok := Preset(arg); ok {
+		return s, nil
+	}
+	data, err := os.ReadFile(arg)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %q is not a preset (%v) and not a readable file: %w",
+			arg, Names(), err)
+	}
+	return Parse(data)
+}

@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Interp selects how a Curve interpolates between consecutive knots.
+type Interp int
+
+// Interpolation kinds.
+const (
+	// Linear draws straight segments between knots (the default).
+	Linear Interp = iota
+	// Step holds each knot's value until the next knot.
+	Step
+	// Cosine eases between knots with a half-cosine ramp — the smooth
+	// diurnal shape (continuous derivative at every knot).
+	Cosine
+)
+
+// String returns the DSL spelling of the interpolation kind.
+func (in Interp) String() string {
+	switch in {
+	case Linear:
+		return "linear"
+	case Step:
+		return "step"
+	case Cosine:
+		return "cosine"
+	}
+	return fmt.Sprintf("Interp(%d)", int(in))
+}
+
+// ParseInterp parses the DSL spelling of an interpolation kind.
+func ParseInterp(s string) (Interp, error) {
+	switch s {
+	case "", "linear":
+		return Linear, nil
+	case "step":
+		return Step, nil
+	case "cosine":
+		return Cosine, nil
+	}
+	return Linear, fmt.Errorf("scenario: unknown interp %q (want step, linear, or cosine)", s)
+}
+
+// Knot is one control point of a Curve: at time T the curve passes exactly
+// through value V.
+type Knot struct {
+	T float64
+	V float64
+}
+
+// Curve is a piecewise-interpolated time-varying profile: the workload
+// fraction (or any non-negative signal) as a function of sim-time. Before
+// the first knot it holds the first value, after the last knot the last
+// value; with Period > 0 the whole shape repeats every Period seconds
+// (time is wrapped into [0, Period) before evaluation — the diurnal case).
+//
+// A Curve is immutable after Validate: At never mutates it, so evaluation
+// is deterministic and side-effect-free — the property the scenario
+// property tests pin down.
+type Curve struct {
+	Knots  []Knot
+	Interp Interp
+	// Period repeats the shape every Period time units; 0 disables
+	// wrapping. When set, every knot must lie within [0, Period].
+	Period float64
+}
+
+// Validate checks the curve: at least one knot, finite non-negative values
+// (a negative rate is an error, never a clamp), strictly increasing knot
+// times, and knots within the period when one is set.
+func (c *Curve) Validate() error {
+	if len(c.Knots) == 0 {
+		return errors.New("scenario: curve needs at least one knot")
+	}
+	for i, k := range c.Knots {
+		if math.IsNaN(k.T) || math.IsInf(k.T, 0) || math.IsNaN(k.V) || math.IsInf(k.V, 0) {
+			return fmt.Errorf("scenario: knot %d is not finite (t=%v v=%v)", i, k.T, k.V)
+		}
+		if k.T < 0 {
+			return fmt.Errorf("scenario: knot %d has negative time %v", i, k.T)
+		}
+		if k.V < 0 {
+			return fmt.Errorf("scenario: knot %d has negative value %v", i, k.V)
+		}
+		if i > 0 && k.T <= c.Knots[i-1].T {
+			return fmt.Errorf("scenario: knot times must be strictly increasing (knot %d: %v after %v)",
+				i, k.T, c.Knots[i-1].T)
+		}
+	}
+	if math.IsNaN(c.Period) || math.IsInf(c.Period, 0) || c.Period < 0 {
+		return fmt.Errorf("scenario: period must be a finite non-negative number, got %v", c.Period)
+	}
+	if c.Period > 0 && c.Knots[len(c.Knots)-1].T > c.Period {
+		return fmt.Errorf("scenario: last knot (t=%v) lies beyond the period %v",
+			c.Knots[len(c.Knots)-1].T, c.Period)
+	}
+	switch c.Interp {
+	case Linear, Step, Cosine:
+	default:
+		return fmt.Errorf("scenario: unknown interpolation kind %d", int(c.Interp))
+	}
+	return nil
+}
+
+// At evaluates the curve at time t. Outside the knot range the boundary
+// values hold; with a period, t wraps first (the value between the last
+// knot and the period boundary is the last knot's).
+func (c *Curve) At(t float64) float64 {
+	n := len(c.Knots)
+	if n == 0 {
+		return 0
+	}
+	if c.Period > 0 {
+		t = math.Mod(t, c.Period)
+		if t < 0 {
+			t += c.Period
+		}
+	}
+	if t <= c.Knots[0].T {
+		return c.Knots[0].V
+	}
+	if t >= c.Knots[n-1].T {
+		return c.Knots[n-1].V
+	}
+	// Find the segment [i, i+1] with Knots[i].T <= t < Knots[i+1].T.
+	lo, hi := 0, n-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if c.Knots[mid].T <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := c.Knots[lo], c.Knots[hi]
+	switch c.Interp {
+	case Step:
+		return a.V
+	case Cosine:
+		u := (t - a.T) / (b.T - a.T)
+		w := (1 - math.Cos(math.Pi*u)) / 2
+		return a.V + (b.V-a.V)*w
+	default: // Linear
+		u := (t - a.T) / (b.T - a.T)
+		return a.V + (b.V-a.V)*u
+	}
+}
+
+// Fraction implements workload.Profile, so a Curve can drive the engine's
+// Poisson arrival process directly.
+func (c *Curve) Fraction(t float64) float64 { return c.At(t) }
+
+// scaled returns a copy with all times multiplied by f (the normalized →
+// sim-seconds conversion).
+func (c *Curve) scaled(f float64) *Curve {
+	if c == nil {
+		return nil
+	}
+	out := &Curve{Knots: make([]Knot, len(c.Knots)), Interp: c.Interp, Period: c.Period * f}
+	for i, k := range c.Knots {
+		out.Knots[i] = Knot{T: k.T * f, V: k.V}
+	}
+	return out
+}

@@ -1,0 +1,271 @@
+package scenario
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomCurve draws a valid curve: strictly increasing knot times built
+// from positive steps, non-negative finite values, a random interpolation
+// kind, and (sometimes) a period enclosing the knots.
+func randomCurve(rng *rand.Rand) *Curve {
+	n := 1 + rng.Intn(8)
+	c := &Curve{
+		Knots:  make([]Knot, n),
+		Interp: Interp(rng.Intn(3)),
+	}
+	t := rng.Float64() * 10
+	for i := 0; i < n; i++ {
+		c.Knots[i] = Knot{T: t, V: rng.Float64() * 5}
+		t += 0.01 + rng.Float64()*100
+	}
+	if rng.Intn(2) == 0 {
+		c.Period = c.Knots[n-1].T + rng.Float64()*50
+	}
+	return c
+}
+
+// TestCurveValueWithinKnotBounds: for every interpolation kind, At never
+// escapes [min knot value, max knot value] — interpolation connects the
+// knots, it does not overshoot them (the property that makes a load curve
+// safe to feed straight into the Poisson arrival process).
+func TestCurveValueWithinKnotBounds(t *testing.T) {
+	property := func(seed int64, probe float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCurve(rng)
+		if err := c.Validate(); err != nil {
+			t.Fatalf("generator produced an invalid curve: %v", err)
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, k := range c.Knots {
+			lo = math.Min(lo, k.V)
+			hi = math.Max(hi, k.V)
+		}
+		// Probe across the knot span and beyond both ends.
+		span := c.Knots[len(c.Knots)-1].T - c.Knots[0].T + 1
+		x := c.Knots[0].T + (math.Mod(math.Abs(probe), 3)-1)*span
+		v := c.At(x)
+		return v >= lo-1e-12 && v <= hi+1e-12
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCurveExactAtKnots: At(knot.T) == knot.V exactly (no tolerance) for
+// every interpolation kind — the curve passes through its control points.
+func TestCurveExactAtKnots(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCurve(rng)
+		c.Period = 0 // a knot at t == Period would wrap to t = 0
+		for _, k := range c.Knots {
+			if c.At(k.T) != k.V {
+				t.Logf("interp %v: At(%v) = %v, knot value %v", c.Interp, k.T, c.At(k.T), k.V)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCurveMatchesNaiveScanOracle: the binary-searched At agrees with a
+// closed-form oracle that finds the segment by linear scan and applies the
+// textbook interpolation formulas — the same contract style as the
+// allocator and matchmaking property tests (fast path vs naive oracle).
+func TestCurveMatchesNaiveScanOracle(t *testing.T) {
+	oracle := func(c *Curve, x float64) float64 {
+		n := len(c.Knots)
+		if c.Period > 0 {
+			x = math.Mod(x, c.Period)
+			if x < 0 {
+				x += c.Period
+			}
+		}
+		if x <= c.Knots[0].T {
+			return c.Knots[0].V
+		}
+		if x >= c.Knots[n-1].T {
+			return c.Knots[n-1].V
+		}
+		for i := 0; i+1 < n; i++ {
+			a, b := c.Knots[i], c.Knots[i+1]
+			if x < a.T || x >= b.T {
+				continue
+			}
+			u := (x - a.T) / (b.T - a.T)
+			switch c.Interp {
+			case Step:
+				return a.V
+			case Cosine:
+				return a.V + (b.V-a.V)*(1-math.Cos(math.Pi*u))/2
+			default:
+				return a.V + (b.V-a.V)*u
+			}
+		}
+		t.Fatalf("oracle found no segment for x=%v", x)
+		return 0
+	}
+	property := func(seed int64, probe float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCurve(rng)
+		span := c.Knots[len(c.Knots)-1].T + 10
+		x := (math.Mod(math.Abs(probe), 2.4) - 0.2) * span
+		return c.At(x) == oracle(c, x)
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 4000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCurveEvaluationIsPure: repeated evaluation at the same instants
+// returns identical values and leaves the curve bit-for-bit unchanged —
+// the determinism guarantee the engine's byte-identical-Result contract
+// leans on (a Curve shared across concurrent repetitions must never
+// mutate).
+func TestCurveEvaluationIsPure(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCurve(rng)
+		before := make([]Knot, len(c.Knots))
+		copy(before, c.Knots)
+		xs := make([]float64, 50)
+		first := make([]float64, len(xs))
+		span := c.Knots[len(c.Knots)-1].T + 5
+		for i := range xs {
+			xs[i] = rng.Float64() * span
+			first[i] = c.At(xs[i])
+		}
+		for round := 0; round < 3; round++ {
+			for i, x := range xs {
+				if c.At(x) != first[i] {
+					return false
+				}
+			}
+		}
+		for i, k := range c.Knots {
+			if k != before[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCurvePeriodWraps: with a period, the curve is exactly periodic —
+// At(t + k·Period) == At(t) for any integer k (the diurnal contract).
+func TestCurvePeriodWraps(t *testing.T) {
+	property := func(seed int64, probe float64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := randomCurve(rng)
+		c.Period = c.Knots[len(c.Knots)-1].T + 1 + rng.Float64()*10
+		x := math.Mod(math.Abs(probe), c.Period)
+		for k := 1; k <= 3; k++ {
+			// math.Mod(x + k·P, P) can differ from x in the last ulp, so
+			// allow for float rounding in the wrapped argument only.
+			if math.Abs(c.At(x+float64(k)*c.Period)-c.At(x)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMixWeightsInterpolation pins the class-mix curve: exact at knots,
+// componentwise within knot bounds between them, boundary weights held
+// outside, and the dst buffer reuse never changes the values.
+func TestMixWeightsInterpolation(t *testing.T) {
+	property := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		width := 1 + rng.Intn(4)
+		n := 1 + rng.Intn(5)
+		s := &Scenario{Name: "mix-prop"}
+		tt := rng.Float64()
+		for i := 0; i < n; i++ {
+			w := make([]float64, width)
+			for j := range w {
+				w[j] = 0.01 + rng.Float64()
+			}
+			s.Mix = append(s.Mix, MixKnot{T: tt, Weights: w})
+			tt += 0.01 + rng.Float64()*10
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("generator produced an invalid mix: %v", err)
+		}
+
+		// Exact at knots.
+		for _, k := range s.Mix {
+			got := s.MixWeightsAt(k.T, nil)
+			for j := range got {
+				if got[j] != k.Weights[j] {
+					return false
+				}
+			}
+		}
+		// Within componentwise bounds anywhere, fresh buffer vs reused
+		// buffer identical.
+		reused := make([]float64, width)
+		last := s.Mix[n-1].T
+		for probe := 0; probe < 30; probe++ {
+			x := rng.Float64()*(last+4) - 2
+			fresh := s.MixWeightsAt(x, nil)
+			reused = s.MixWeightsAt(x, reused)
+			for j := 0; j < width; j++ {
+				if fresh[j] != reused[j] {
+					return false
+				}
+				lo, hi := math.Inf(1), math.Inf(-1)
+				for _, k := range s.Mix {
+					lo = math.Min(lo, k.Weights[j])
+					hi = math.Max(hi, k.Weights[j])
+				}
+				if fresh[j] < lo-1e-12 || fresh[j] > hi+1e-12 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(property, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestScaledPreservesShape: scaling a normalized scenario to a duration
+// multiplies every time by that duration and leaves values, weights, and
+// wave sizes untouched; the original is not mutated.
+func TestScaledPreservesShape(t *testing.T) {
+	s, ok := Preset("flash-crowd")
+	if !ok {
+		t.Fatal("flash-crowd preset missing")
+	}
+	const d = 2500.0
+	sc := s.Scaled(d)
+	if sc == s {
+		t.Fatal("Scaled returned the original for a normalized scenario")
+	}
+	for i, k := range s.Load.Knots {
+		if sc.Load.Knots[i].T != k.T*d || sc.Load.Knots[i].V != k.V {
+			t.Fatalf("knot %d: scaled (%v,%v), want (%v,%v)",
+				i, sc.Load.Knots[i].T, sc.Load.Knots[i].V, k.T*d, k.V)
+		}
+	}
+	// The curve value at any fraction f of the run matches the normalized
+	// curve at f.
+	for _, f := range []float64{0, 0.1, 0.45, 0.5, 0.55, 0.6, 0.65, 0.99, 1} {
+		if got, want := sc.Load.At(f*d), s.Load.At(f); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("At(%v·d) = %v, normalized At(%v) = %v", f, got, f, want)
+		}
+	}
+}

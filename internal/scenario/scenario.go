@@ -1,0 +1,280 @@
+// Package scenario is the declarative scenario DSL for time-varying load
+// and churn: piecewise-interpolated profiles for the query arrival rate and
+// the query-class mix, plus scheduled provider churn waves (outages and
+// rejoins). A scenario either comes from a named preset (see Presets) or
+// from a small YAML-subset text file (see Parse); the simulation engine
+// consumes it through sim.Options.Scenario, scheduling the waves as
+// discrete events that drive the matchmaking index's incremental
+// Remove/Add paths.
+//
+// Scenarios extend the paper's constant/ramp workloads (Section 6.1) to
+// the regimes where mediation earns its keep: flash crowds, diurnal
+// swings, maintenance windows, and provider outage waves. Everything a
+// scenario does is deterministic under the run seed: the load and mix
+// curves are pure functions of sim-time, and wave victims are drawn from a
+// dedicated RNG stream derived from the seed alone.
+package scenario
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// WaveKind selects what a churn wave does to the provider population.
+type WaveKind int
+
+// Wave kinds.
+const (
+	// WaveOutage takes a slice of the currently-alive providers off the
+	// system: they flip to departed (model.ReasonOutage), leave every
+	// posting list of the matchmaking index, and stop receiving work.
+	// Queries already assigned still complete (the node drains).
+	WaveOutage WaveKind = iota
+	// WaveRejoin re-registers providers that a previous outage wave took
+	// down: they flip back to alive and re-enter the index. Autonomy
+	// departures (Section 6.3.2) are permanent decisions and are never
+	// rejoined.
+	WaveRejoin
+)
+
+// String returns the DSL spelling of the wave kind.
+func (k WaveKind) String() string {
+	switch k {
+	case WaveOutage:
+		return "outage"
+	case WaveRejoin:
+		return "rejoin"
+	}
+	return fmt.Sprintf("WaveKind(%d)", int(k))
+}
+
+// ParseWaveKind parses the DSL spelling of a wave kind.
+func ParseWaveKind(s string) (WaveKind, error) {
+	switch s {
+	case "outage":
+		return WaveOutage, nil
+	case "rejoin":
+		return WaveRejoin, nil
+	}
+	return WaveOutage, fmt.Errorf("scenario: unknown wave kind %q (want outage or rejoin)", s)
+}
+
+// Wave is one scheduled churn event. Its target size is either Fraction of
+// the eligible pool (alive providers for an outage, outage-departed
+// providers for a rejoin) or the absolute Count; exactly one must be set.
+type Wave struct {
+	Time     float64
+	Kind     WaveKind
+	Fraction float64
+	Count    int
+}
+
+// TargetCount resolves the wave size against the eligible pool.
+func (w Wave) TargetCount(pool int) int {
+	n := w.Count
+	if n == 0 {
+		n = int(w.Fraction*float64(pool) + 0.5)
+	}
+	if n > pool {
+		n = pool
+	}
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// validate checks one wave (i is its index, for error messages).
+func (w Wave) validate(i int) error {
+	if math.IsNaN(w.Time) || math.IsInf(w.Time, 0) || w.Time < 0 {
+		return fmt.Errorf("scenario: wave %d has invalid time %v", i, w.Time)
+	}
+	switch w.Kind {
+	case WaveOutage, WaveRejoin:
+	default:
+		return fmt.Errorf("scenario: wave %d has unknown kind %d", i, int(w.Kind))
+	}
+	if math.IsNaN(w.Fraction) || w.Fraction < 0 || w.Fraction > 1 {
+		return fmt.Errorf("scenario: wave %d fraction %v out of [0,1]", i, w.Fraction)
+	}
+	if w.Count < 0 {
+		return fmt.Errorf("scenario: wave %d has negative count %d", i, w.Count)
+	}
+	if w.Fraction == 0 && w.Count == 0 {
+		return fmt.Errorf("scenario: wave %d needs a fraction or a count", i)
+	}
+	if w.Fraction > 0 && w.Count > 0 {
+		return fmt.Errorf("scenario: wave %d sets both fraction and count", i)
+	}
+	return nil
+}
+
+// MixKnot is one control point of the time-varying query-class mix: at
+// time T the class weights are Weights (relative, not normalized). Between
+// knots the weights interpolate componentwise (linearly); outside the knot
+// range the boundary weights hold.
+type MixKnot struct {
+	T       float64
+	Weights []float64
+}
+
+// Scenario is one declarative run description.
+type Scenario struct {
+	// Name identifies the scenario (preset name, or the file's name field).
+	Name string
+	// Description is a one-line human summary.
+	Description string
+	// Normalized, when true, means every time in the scenario (knots,
+	// waves, mix, period) is a fraction of the run duration and is scaled
+	// to sim-seconds by Scaled — presets use this so one shape works at
+	// any -duration.
+	Normalized bool
+	// Load is the workload-fraction curve; nil keeps the run's configured
+	// workload profile (constant or ramp).
+	Load *Curve
+	// Waves are the scheduled churn events, in non-decreasing time order.
+	Waves []Wave
+	// Mix is the time-varying query-class mix; empty keeps the run's
+	// configured class weights. Every knot must carry one weight per
+	// query class of the run (checked by the engine, which knows the
+	// class count).
+	Mix []MixKnot
+}
+
+// Validate checks the scenario's internal consistency. A scenario that
+// passes Validate can still be rejected by the engine when it does not fit
+// the run (e.g. mix weight counts vs query classes).
+func (s *Scenario) Validate() error {
+	if s == nil {
+		return errors.New("scenario: nil scenario")
+	}
+	if s.Load == nil && len(s.Waves) == 0 && len(s.Mix) == 0 {
+		return errors.New("scenario: empty scenario (needs a load curve, waves, or a mix)")
+	}
+	if s.Load != nil {
+		if err := s.Load.Validate(); err != nil {
+			return err
+		}
+	}
+	for i, w := range s.Waves {
+		if err := w.validate(i); err != nil {
+			return err
+		}
+		if i > 0 && w.Time < s.Waves[i-1].Time {
+			return fmt.Errorf("scenario: wave times must be non-decreasing (wave %d: %v after %v)",
+				i, w.Time, s.Waves[i-1].Time)
+		}
+	}
+	width := 0
+	for i, k := range s.Mix {
+		if math.IsNaN(k.T) || math.IsInf(k.T, 0) || k.T < 0 {
+			return fmt.Errorf("scenario: mix knot %d has invalid time %v", i, k.T)
+		}
+		if i > 0 && k.T <= s.Mix[i-1].T {
+			return fmt.Errorf("scenario: mix knot times must be strictly increasing (knot %d)", i)
+		}
+		if len(k.Weights) == 0 {
+			return fmt.Errorf("scenario: mix knot %d has no weights", i)
+		}
+		if i == 0 {
+			width = len(k.Weights)
+		} else if len(k.Weights) != width {
+			return fmt.Errorf("scenario: mix knot %d has %d weights, knot 0 has %d",
+				i, len(k.Weights), width)
+		}
+		sum := 0.0
+		for j, w := range k.Weights {
+			if math.IsNaN(w) || math.IsInf(w, 0) || w < 0 {
+				return fmt.Errorf("scenario: mix knot %d weight %d is invalid (%v)", i, j, w)
+			}
+			sum += w
+		}
+		if sum <= 0 {
+			return fmt.Errorf("scenario: mix knot %d weights sum to zero", i)
+		}
+	}
+	if s.Normalized {
+		if s.Load != nil {
+			for _, k := range s.Load.Knots {
+				if k.T > 1 {
+					return fmt.Errorf("scenario: normalized load knot t=%v beyond 1", k.T)
+				}
+			}
+			if s.Load.Period > 1 {
+				return fmt.Errorf("scenario: normalized period %v beyond 1", s.Load.Period)
+			}
+		}
+		for i, w := range s.Waves {
+			if w.Time > 1 {
+				return fmt.Errorf("scenario: normalized wave %d at t=%v beyond 1", i, w.Time)
+			}
+		}
+		for i, k := range s.Mix {
+			if k.T > 1 {
+				return fmt.Errorf("scenario: normalized mix knot %d at t=%v beyond 1", i, k.T)
+			}
+		}
+	}
+	return nil
+}
+
+// Scaled returns the scenario with every time expressed in sim-seconds for
+// a run of the given duration: a normalized scenario has all its times
+// multiplied by duration, a concrete one is returned as-is.
+func (s *Scenario) Scaled(duration float64) *Scenario {
+	if s == nil || !s.Normalized || duration <= 0 {
+		return s
+	}
+	out := &Scenario{
+		Name:        s.Name,
+		Description: s.Description,
+		Load:        s.Load.scaled(duration),
+		Waves:       make([]Wave, len(s.Waves)),
+		Mix:         make([]MixKnot, len(s.Mix)),
+	}
+	for i, w := range s.Waves {
+		w.Time *= duration
+		out.Waves[i] = w
+	}
+	for i, k := range s.Mix {
+		out.Mix[i] = MixKnot{T: k.T * duration, Weights: k.Weights}
+	}
+	return out
+}
+
+// MixWeightsAt evaluates the class-mix curve at time t into dst (reused
+// when it has the right length). Returns nil when the scenario has no mix.
+func (s *Scenario) MixWeightsAt(t float64, dst []float64) []float64 {
+	if len(s.Mix) == 0 {
+		return nil
+	}
+	width := len(s.Mix[0].Weights)
+	if len(dst) != width {
+		dst = make([]float64, width)
+	}
+	n := len(s.Mix)
+	if t <= s.Mix[0].T || n == 1 {
+		copy(dst, s.Mix[0].Weights)
+		return dst
+	}
+	if t >= s.Mix[n-1].T {
+		copy(dst, s.Mix[n-1].Weights)
+		return dst
+	}
+	lo, hi := 0, n-1
+	for lo+1 < hi {
+		mid := (lo + hi) / 2
+		if s.Mix[mid].T <= t {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	a, b := s.Mix[lo], s.Mix[hi]
+	u := (t - a.T) / (b.T - a.T)
+	for i := range dst {
+		dst[i] = a.Weights[i] + (b.Weights[i]-a.Weights[i])*u
+	}
+	return dst
+}

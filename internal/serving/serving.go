@@ -314,7 +314,10 @@ func (d *Driver) account(ws *workerStats, sub *submission, alloc *mediator.Alloc
 			return
 		}
 		ws.errs++
-		if ws.firstErr == nil {
+		// A cancelled run is cut short, not broken: the queued backlog
+		// fails mediation with the dead context, which belongs in the
+		// error count but is not a strategy or wiring failure.
+		if ws.firstErr == nil && !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
 			ws.firstErr = err
 		}
 		return

@@ -4,12 +4,14 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"sort"
 
 	"sqlb/internal/matchmaking"
 	"sqlb/internal/mediator"
 	"sqlb/internal/metrics"
 	"sqlb/internal/model"
 	"sqlb/internal/randx"
+	"sqlb/internal/scenario"
 	"sqlb/internal/stats"
 	"sqlb/internal/workload"
 )
@@ -22,6 +24,17 @@ type Engine struct {
 	med   *mediator.Mediator
 	index *matchmaking.Index
 	gen   *workload.Generator
+
+	// load is the effective workload profile: the scenario's load curve
+	// when one is set, Options.Workload otherwise.
+	load workload.Profile
+	// scn is the scenario scaled to sim-seconds (nil without one); churnRng
+	// is the dedicated RNG stream its waves draw victims from, derived
+	// from the run seed alone so churn is identical at any worker count.
+	scn      *scenario.Scenario
+	churnRng *randx.Rand
+	// mixBuf is the reusable buffer MixWeightsAt fills per arrival.
+	mixBuf []float64
 
 	arrivalRng *randx.Rand
 
@@ -46,6 +59,7 @@ type Engine struct {
 
 	departuresP []Departure
 	departuresC []Departure
+	joinsP      []Departure
 	samples     []Sample
 	autonomy    Autonomy
 
@@ -79,6 +93,10 @@ func New(opts Options) (*Engine, error) {
 	popRng := master.Split()
 	genRng := master.Split()
 	arrRng := master.Split()
+	// The churn stream is split last: the draws above come from master
+	// positions that do not depend on it, so scenario-free runs stay
+	// byte-identical to the pre-scenario implementation.
+	churnRng := master.Split()
 
 	pop := model.NewPopulation(opts.Config, popRng, 0)
 	gen := workload.NewGenerator(opts.Config.QueryClasses, opts.Config.QueryN, genRng)
@@ -95,6 +113,12 @@ func New(opts Options) (*Engine, error) {
 		inflight:      make(map[uint64]*inflightQuery),
 		respHist:      stats.DefaultResponseHistogram(),
 		autonomy:      opts.Autonomy.withDefaults(),
+		load:          opts.Workload,
+		scn:           opts.Scenario.Scaled(opts.Duration),
+		churnRng:      churnRng,
+	}
+	if e.scn != nil && e.scn.Load != nil {
+		e.load = e.scn.Load
 	}
 	// The indexed matchmaker replaces the naive full-population scan: the
 	// mediator sees only the O(|Pq|) candidate subset per query. In the
@@ -117,6 +141,13 @@ func (e *Engine) MatchIndex() *matchmaking.Index { return e.index }
 // Run executes the simulation and returns its result. It can be called
 // once per engine.
 func (e *Engine) Run() *Result {
+	// Churn waves are scheduled first so a wave at t=0 (an initially
+	// degraded system) applies before the first arrival mediates.
+	if e.scn != nil {
+		for i := range e.scn.Waves {
+			e.schedule(e.scn.Waves[i].Time, evChurn, uint64(i))
+		}
+	}
 	e.scheduleNextArrival()
 	e.schedule(e.smoothInterval, evSmooth, 0)
 	if e.opts.SampleInterval > 0 {
@@ -150,6 +181,8 @@ func (e *Engine) Run() *Result {
 		case evSmooth:
 			e.smoothAssessments()
 			e.schedule(e.now+e.smoothInterval, evSmooth, 0)
+		case evChurn:
+			e.applyWave(e.scn.Waves[ev.qid])
 		}
 	}
 	e.now = e.opts.Duration
@@ -163,7 +196,7 @@ func (e *Engine) scheduleNextArrival() {
 	if len(e.aliveConsumers) == 0 {
 		return
 	}
-	frac := e.opts.Workload.Fraction(e.now)
+	frac := e.load.Fraction(e.now)
 	rate := workload.ArrivalRate(frac, e.totalCapacity, e.meanUnits)
 	rate *= float64(len(e.aliveConsumers)) / float64(len(e.pop.Consumers))
 	if rate <= 0 {
@@ -180,10 +213,17 @@ func (e *Engine) handleArrival() {
 		return
 	}
 	// An arrival scheduled while the profile was idle is just a poll.
-	if workload.ArrivalRate(e.opts.Workload.Fraction(e.now), e.totalCapacity, e.meanUnits) <= 0 {
+	if workload.ArrivalRate(e.load.Fraction(e.now), e.totalCapacity, e.meanUnits) <= 0 {
 		return
 	}
 	c := e.aliveConsumers[e.arrivalRng.Pick(len(e.aliveConsumers))]
+	if e.scn != nil && len(e.scn.Mix) > 0 {
+		// Time-varying class mix: re-weight the generator at the arrival's
+		// instant. One Float64 is drawn per query either way, so enabling
+		// a mix never changes the number of RNG draws.
+		e.mixBuf = e.scn.MixWeightsAt(e.now, e.mixBuf)
+		e.gen.SetClassWeights(e.mixBuf)
+	}
 	q := e.gen.Next(e.now, c)
 	e.issued++
 
@@ -251,6 +291,66 @@ func (e *Engine) handleCompletion(qid uint64) {
 	}
 }
 
+// applyWave executes one scheduled churn event of the scenario. Victims
+// are drawn from the dedicated churn RNG stream and applied in ascending
+// ID order, so the wave is deterministic under the run seed and the
+// departure ledger stays ID-sorted within a wave.
+func (e *Engine) applyWave(w scenario.Wave) {
+	switch w.Kind {
+	case scenario.WaveOutage:
+		pool := e.pop.AliveProviders()
+		picked := pickWave(e.churnRng, pool, w)
+		for _, p := range picked {
+			p.Alive = false
+			p.DepartedAt = e.now
+			p.DepartReason = model.ReasonOutage
+			// Incremental index maintenance, same as an announced autonomy
+			// departure: the provider leaves every posting list now.
+			e.index.Remove(p)
+			e.departuresP = append(e.departuresP, Departure{
+				Time: e.now, ID: p.ID, Reason: model.ReasonOutage,
+				Interest: p.InterestClass, Adapt: p.AdaptClass, Cap: p.CapClass,
+			})
+		}
+	case scenario.WaveRejoin:
+		// Only outage victims are eligible: autonomy departures are the
+		// participant's own permanent decision (Section 6.3.2).
+		pool := make([]*model.Provider, 0)
+		for _, p := range e.pop.Providers {
+			if !p.Alive && p.DepartReason == model.ReasonOutage {
+				pool = append(pool, p)
+			}
+		}
+		picked := pickWave(e.churnRng, pool, w)
+		for _, p := range picked {
+			p.Alive = true
+			p.DepartedAt = 0
+			p.DepartReason = model.ReasonNone
+			e.index.Add(p)
+			e.joinsP = append(e.joinsP, Departure{
+				Time: e.now, ID: p.ID, Reason: model.ReasonNone,
+				Interest: p.InterestClass, Adapt: p.AdaptClass, Cap: p.CapClass,
+			})
+		}
+	}
+}
+
+// pickWave selects the wave's victims from the eligible pool: a uniform
+// draw without replacement of TargetCount providers, returned in ID order.
+func pickWave(rng *randx.Rand, pool []*model.Provider, w scenario.Wave) []*model.Provider {
+	n := w.TargetCount(len(pool))
+	if n == 0 {
+		return nil
+	}
+	perm := rng.Perm(len(pool))
+	picked := make([]*model.Provider, n)
+	for i := 0; i < n; i++ {
+		picked[i] = pool[perm[i]]
+	}
+	sort.Slice(picked, func(i, j int) bool { return picked[i].ID < picked[j].ID })
+	return picked
+}
+
 // takeSample snapshots the §4 metrics over the alive participants.
 func (e *Engine) takeSample() {
 	e.samples = append(e.samples, e.snapshot())
@@ -259,7 +359,7 @@ func (e *Engine) takeSample() {
 func (e *Engine) snapshot() Sample {
 	s := Sample{
 		Time:             e.now,
-		WorkloadFraction: e.opts.Workload.Fraction(e.now),
+		WorkloadFraction: e.load.Fraction(e.now),
 		ProvSatIntention: metrics.Summarize(e.pop.ProviderValues(true, func(p *model.Provider) float64 {
 			return p.Public.Satisfaction()
 		})),
@@ -284,8 +384,11 @@ func (e *Engine) snapshot() Sample {
 		Utilization: metrics.Summarize(e.pop.ProviderValues(true, func(p *model.Provider) float64 {
 			return p.MeasuredLoad(e.now)
 		})),
-		AliveProviders: len(e.pop.AliveProviders()),
-		AliveConsumers: len(e.aliveConsumers),
+		AliveProviders:         len(e.pop.AliveProviders()),
+		AliveConsumers:         len(e.aliveConsumers),
+		ProviderDepartureCount: len(e.departuresP),
+		ProviderJoinCount:      len(e.joinsP),
+		ConsumerDepartureCount: len(e.departuresC),
 	}
 	if e.windowRespCount > 0 {
 		s.ResponseTimeMean = e.windowRespSum / float64(e.windowRespCount)
@@ -315,7 +418,7 @@ func (e *Engine) smoothAssessments() {
 // is judged on the participants' long-run self-assessment of their
 // private, preference-based characteristics (see Options.SmoothingAlpha).
 func (e *Engine) checkDepartures() {
-	optimal := e.opts.Workload.Fraction(e.now)
+	optimal := e.load.Fraction(e.now)
 	a := e.autonomy
 	if a.ProvidersDissatisfaction || a.ProvidersStarvation || a.ProvidersOverutilization {
 		for _, p := range e.pop.Providers {
@@ -392,9 +495,13 @@ func (e *Engine) buildResult() *Result {
 		ResponseHistogram:  e.respHist,
 		ProviderDepartures: e.departuresP,
 		ConsumerDepartures: e.departuresC,
+		ProviderJoins:      e.joinsP,
 		Providers:          len(e.pop.Providers),
 		Consumers:          len(e.pop.Consumers),
 		Err:                e.medErr,
+	}
+	if e.scn != nil {
+		r.Scenario = e.scn.Name
 	}
 	if e.respCount > 0 {
 		r.MeanResponseTime = e.respSum / float64(e.respCount)

@@ -15,6 +15,7 @@ const (
 	evSample
 	evDepartureCheck
 	evSmooth
+	evChurn
 )
 
 // event is one scheduled occurrence. seq breaks time ties FIFO so runs are
@@ -23,7 +24,8 @@ type event struct {
 	time float64
 	seq  uint64
 	kind eventKind
-	// qid identifies the in-flight query for completion events.
+	// qid identifies the in-flight query for completion events, and the
+	// scenario wave index for churn events.
 	qid uint64
 }
 

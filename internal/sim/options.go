@@ -2,9 +2,11 @@ package sim
 
 import (
 	"errors"
+	"fmt"
 
 	"sqlb/internal/allocator"
 	"sqlb/internal/model"
+	"sqlb/internal/scenario"
 	"sqlb/internal/workload"
 )
 
@@ -112,6 +114,13 @@ type Options struct {
 	Strategy allocator.Allocator
 	// Workload shapes the offered load over time.
 	Workload workload.Profile
+	// Scenario overlays time-varying load and churn on the run: its load
+	// curve (if any) replaces Workload, its waves schedule provider
+	// outages/rejoins as discrete events, and its mix varies the query-
+	// class weights over time. A normalized scenario is scaled to the
+	// run's Duration. Nil reproduces the paper's constant/ramp workloads
+	// exactly (not a single RNG draw differs).
+	Scenario *scenario.Scenario
 	// Duration is the simulated horizon in seconds.
 	Duration float64
 	// Seed drives every random stream of the run.
@@ -163,8 +172,17 @@ func (o *Options) Validate() error {
 	if o.Strategy == nil {
 		errs = append(errs, errors.New("sim: options need a strategy"))
 	}
-	if o.Workload == nil {
-		errs = append(errs, errors.New("sim: options need a workload profile"))
+	if o.Workload == nil && (o.Scenario == nil || o.Scenario.Load == nil) {
+		errs = append(errs, errors.New("sim: options need a workload profile or a scenario with a load curve"))
+	}
+	if o.Scenario != nil {
+		if err := o.Scenario.Validate(); err != nil {
+			errs = append(errs, err)
+		} else if len(o.Scenario.Mix) > 0 {
+			if got, want := len(o.Scenario.Mix[0].Weights), len(o.Config.QueryClasses); got != want {
+				errs = append(errs, fmt.Errorf("sim: scenario mix has %d weights per knot, run has %d query classes", got, want))
+			}
+		}
 	}
 	if o.Duration <= 0 {
 		errs = append(errs, errors.New("sim: duration must be positive"))

@@ -47,6 +47,17 @@ type Sample struct {
 	// AliveProviders and AliveConsumers count the remaining participants.
 	AliveProviders int
 	AliveConsumers int
+
+	// ProviderDepartureCount, ProviderJoinCount, and ConsumerDepartureCount
+	// are the cumulative churn ledgers at this instant. The population-
+	// conservation invariant reads
+	//   AliveProviders == Providers − ProviderDepartureCount + ProviderJoinCount
+	// at every sample (likewise for consumers, who never rejoin); cumulative
+	// counters make it exact even when a wave and a sample share a
+	// timestamp.
+	ProviderDepartureCount int
+	ProviderJoinCount      int
+	ConsumerDepartureCount int
 }
 
 // Departure records one participant leaving the system.
@@ -96,8 +107,18 @@ type Result struct {
 	ResponseHistogram *stats.Histogram
 
 	// ProviderDepartures and ConsumerDepartures list who left and why.
+	// Under a churn scenario a provider can appear more than once: taken
+	// down by one outage wave, rejoined, and departed again later.
 	ProviderDepartures []Departure
 	ConsumerDepartures []Departure
+	// ProviderJoins lists scenario rejoin events (Reason is ReasonNone):
+	// providers a rejoin wave re-registered after an outage wave took them
+	// down. Joins − departures equals the alive-count delta at any sampled
+	// instant.
+	ProviderJoins []Departure
+
+	// Scenario names the scenario the run was driven by ("" without one).
+	Scenario string
 
 	// Providers and Consumers are the population sizes (for rates).
 	Providers int

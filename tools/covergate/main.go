@@ -1,0 +1,118 @@
+// Command covergate enforces the repository's statement-coverage floor.
+// It reads a Go cover profile (go test -coverprofile), computes the total
+// statement coverage the same way `go tool cover -func` does — covered
+// statements over all statements — prints a per-package breakdown, and
+// exits non-zero when the total falls below -min. The floor in the
+// Makefile is the recorded baseline minus a small margin, so a PR that
+// loses coverage fails CI while normal fluctuation passes.
+//
+// Usage:
+//
+//	go test -coverprofile=coverage.out ./...
+//	go run ./tools/covergate -profile coverage.out -min 80
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+type tally struct{ covered, total int }
+
+func main() {
+	profile := flag.String("profile", "coverage.out", "cover profile written by go test -coverprofile")
+	min := flag.Float64("min", 0, "minimum total statement coverage in percent (0 disables the gate)")
+	flag.Parse()
+
+	perPkg, all, err := read(*profile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "covergate: %v\n", err)
+		os.Exit(1)
+	}
+
+	pkgs := make([]string, 0, len(perPkg))
+	for pkg := range perPkg {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		t := perPkg[pkg]
+		fmt.Printf("%-40s %6.1f%% (%d/%d statements)\n", pkg, pct(t), t.covered, t.total)
+	}
+	total := pct(all)
+	fmt.Printf("%-40s %6.1f%% (%d/%d statements)\n", "total", total, all.covered, all.total)
+
+	if *min > 0 && total < *min {
+		fmt.Fprintf(os.Stderr, "covergate: total coverage %.1f%% is below the %.1f%% floor\n", total, *min)
+		os.Exit(1)
+	}
+}
+
+func pct(t tally) float64 {
+	if t.total == 0 {
+		return 0
+	}
+	return 100 * float64(t.covered) / float64(t.total)
+}
+
+// read parses the profile: a "mode:" header, then one line per block —
+// file:start,end numStatements hitCount.
+func read(path string) (map[string]tally, tally, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, tally{}, err
+	}
+	defer f.Close()
+
+	perPkg := map[string]tally{}
+	var all tally
+	sc := bufio.NewScanner(f)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "mode:") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 3 {
+			return nil, tally{}, fmt.Errorf("%s:%d: malformed block %q", path, line, text)
+		}
+		file, _, ok := strings.Cut(fields[0], ":")
+		if !ok {
+			return nil, tally{}, fmt.Errorf("%s:%d: malformed position %q", path, line, fields[0])
+		}
+		stmts, err := strconv.Atoi(fields[1])
+		if err != nil {
+			return nil, tally{}, fmt.Errorf("%s:%d: bad statement count %q", path, line, fields[1])
+		}
+		count, err := strconv.Atoi(fields[2])
+		if err != nil {
+			return nil, tally{}, fmt.Errorf("%s:%d: bad hit count %q", path, line, fields[2])
+		}
+		pkg := file
+		if i := strings.LastIndexByte(file, '/'); i >= 0 {
+			pkg = file[:i]
+		}
+		t := perPkg[pkg]
+		t.total += stmts
+		all.total += stmts
+		if count > 0 {
+			t.covered += stmts
+			all.covered += stmts
+		}
+		perPkg[pkg] = t
+	}
+	if err := sc.Err(); err != nil {
+		return nil, tally{}, err
+	}
+	if all.total == 0 {
+		return nil, tally{}, fmt.Errorf("%s: no coverage blocks found", path)
+	}
+	return perPkg, all, nil
+}
