@@ -4,9 +4,10 @@ GO ?= go
 
 # BENCH selects the regression benchmark set: the Rank/Select and
 # matchmaking hot-path micro-benchmarks, the serial-vs-parallel Lab runs,
-# and the batched-vs-per-query mediation service path. Override with
+# the batched-vs-per-query mediation service path, and the streaming
+# timeline CSV writer (rows/sec, 0 allocs/row). Override with
 # `make bench BENCH=.` for the full suite.
-BENCH ?= BenchmarkRank|BenchmarkSelectTopN|BenchmarkLab|BenchmarkMediatorAllocate|BenchmarkMatchmaking|BenchmarkServerMediate
+BENCH ?= BenchmarkRank|BenchmarkSelectTopN|BenchmarkLab|BenchmarkMediatorAllocate|BenchmarkMatchmaking|BenchmarkServerMediate|BenchmarkTimelineCSV
 
 # SERVE_JSON is where serve-bench drops the sqlb-serve steady-state report;
 # bench embeds it into BENCH_results.json when present.

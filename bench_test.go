@@ -11,6 +11,7 @@ package sqlb_test
 
 import (
 	"context"
+	"io"
 	"runtime"
 	"testing"
 	"time"
@@ -25,6 +26,7 @@ import (
 	"sqlb/internal/randx"
 	"sqlb/internal/satisfaction"
 	"sqlb/internal/sim"
+	"sqlb/internal/timeline"
 	"sqlb/internal/workload"
 )
 
@@ -579,4 +581,38 @@ func BenchmarkExtensionSQLBEconomic(b *testing.B) {
 	res := ablationRun(b, allocator.NewSQLBEconomic(), nil)
 	b.ReportMetric(100*res.ProviderDepartureRate(), "prov-departures-pct")
 	b.ReportMetric(res.MeanResponseTime, "resp-s")
+}
+
+// BenchmarkTimelineCSV measures the streaming timeline writer: rows/sec
+// through the CSV sink and — the contract the live tailing path relies
+// on — zero allocations per row once the encode buffer is warm.
+func BenchmarkTimelineCSV(b *testing.B) {
+	sink := timeline.NewCSVSink(io.Discard)
+	snap := timeline.Snapshot{
+		Time: 1, Source: "sim", WorkloadFraction: 0.8,
+		QPSIn: 240.5, QPSOut: 231.25, Dropped: 3, QueueDepth: 17,
+		LatencyMean: 0.131, LatencyP50: 0.09, LatencyP95: 0.52, LatencyP99: 1.4,
+		ProvSat: 0.61, ConsSat: 0.58, AllocSat: 0.97, SatFairness: 0.91,
+		UtilMean: 0.74, UtilFairness: 0.88, UtilGini: 0.19,
+		UtilClassLow: 0.91, UtilClassMed: 0.74, UtilClassHigh: 0.6,
+		AliveProviders: 96, AliveConsumers: 50, Departures: 4, Joins: 1,
+	}
+	// Warm the header and the reusable encode buffer before timing.
+	if err := sink.Append(snap); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		snap.Time = float64(i)
+		if err := sink.Append(snap); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "rows/s")
+	b.StopTimer()
+	if err := sink.Close(); err != nil {
+		b.Fatal(err)
+	}
 }

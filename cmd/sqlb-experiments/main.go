@@ -7,7 +7,8 @@
 //	sqlb-experiments [-run id[,id...]] [-scale f] [-duration s] [-sweep s]
 //	                 [-repeats n] [-seed n] [-workers n] [-workloads csv]
 //	                 [-classes k] [-selectivity s] [-class-skew z]
-//	                 [-selectivities csv] [-scenarios csv] [-out dir] [-list]
+//	                 [-selectivities csv] [-scenarios csv] [-out dir]
+//	                 [-timeline-dir dir] [-list]
 //
 // The paper's full scale is -scale 1 -duration 10000 -sweep 10000
 // -repeats 10; the defaults reproduce the same shapes at laptop cost.
@@ -26,6 +27,7 @@ import (
 	"time"
 
 	"sqlb/internal/experiments"
+	"sqlb/internal/timeline"
 )
 
 func main() {
@@ -45,6 +47,7 @@ func main() {
 		skew      = flag.Float64("class-skew", 0, "Zipf exponent of query-class popularity (0 = uniform)")
 		sels      = flag.String("selectivities", "", "comma-separated selectivities for ext-selectivity (default 0.125,0.25,0.5,0.75,1)")
 		scens     = flag.String("scenarios", "", "comma-separated scenario presets or files for ext-scenarios (default: every preset)")
+		tlDir     = flag.String("timeline-dir", "", "stream every simulation run's timeline as <dir>/<run-id>.csv (replayable with sqlb-top)")
 	)
 	flag.Parse()
 
@@ -71,6 +74,22 @@ func main() {
 	}
 	cfg.Workloads = parseFloats(*workloads, "-workloads")
 	cfg.Selectivities = parseFloats(*sels, "-selectivities")
+	if *tlDir != "" {
+		if err := os.MkdirAll(*tlDir, 0o755); err != nil {
+			fatal("mkdir %s: %v", *tlDir, err)
+		}
+		dir := *tlDir
+		cfg.Timeline = func(runID string) timeline.Sink {
+			// Run IDs carry their identity as path segments
+			// (ramp/SQLB/rep0); flatten them into one file name.
+			name := strings.ReplaceAll(runID, "/", "_") + ".csv"
+			sink, err := timeline.CreateCSV(filepath.Join(dir, name))
+			if err != nil {
+				fatal("timeline %s: %v", runID, err)
+			}
+			return sink
+		}
+	}
 	if *scens != "" {
 		for _, part := range strings.Split(*scens, ",") {
 			cfg.Scenarios = append(cfg.Scenarios, strings.TrimSpace(part))

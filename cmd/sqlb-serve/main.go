@@ -9,6 +9,12 @@
 // time — sqlb-serve stresses the mediator itself over wall-clock time: the
 // ROADMAP's mediator-as-a-service item.
 //
+// Observability: -timeline streams one snapshot per -snapshot-interval
+// (plus a final one after the pool drains) to a CSV file another terminal
+// can watch live with sqlb-top -file run.csv -follow; -top renders the
+// dashboard in-process instead. The interval deltas in the snapshots sum
+// exactly to the final report's totals.
+//
 // Usage:
 //
 //	sqlb-serve [-method sqlb|capacity|mariposa|random|knbest|sqlb-econ]
@@ -17,6 +23,7 @@
 //	           [-scale f] [-providers n] [-consumers n]
 //	           [-classes k] [-selectivity s] [-class-skew z]
 //	           [-seed n] [-json file]
+//	           [-timeline file] [-snapshot-interval d] [-top]
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"sqlb/internal/allocator"
 	"sqlb/internal/model"
 	"sqlb/internal/serving"
+	"sqlb/internal/timeline"
 )
 
 func main() {
@@ -51,6 +59,9 @@ func main() {
 		skew      = flag.Float64("class-skew", 0, "Zipf exponent of query-class popularity (0 = uniform)")
 		seed      = flag.Uint64("seed", 42, "run seed")
 		jsonPath  = flag.String("json", "", "also write the report as JSON to this file")
+		tlPath    = flag.String("timeline", "", "stream interval timeline snapshots to this CSV file (watch with sqlb-top)")
+		tlEvery   = flag.Duration("snapshot-interval", time.Second, "timeline snapshot cadence")
+		top       = flag.Bool("top", false, "render the live sqlb-top dashboard while the run executes")
 	)
 	flag.Parse()
 
@@ -68,17 +79,49 @@ func main() {
 		mcfg.Consumers = *consumers
 	}
 
+	// Timeline plumbing: CSV sink for -timeline, in-process dashboard for
+	// -top, both behind one collector so either can be enabled alone.
+	var tlSinks []timeline.Sink
+	if *tlPath != "" {
+		cs, err := timeline.CreateCSV(*tlPath)
+		if err != nil {
+			fatal("%v", err)
+		}
+		// Flush each row as it is written so another terminal tailing the
+		// file (sqlb-top -follow) sees it while the run is still going.
+		cs.FlushEveryRow = true
+		tlSinks = append(tlSinks, cs)
+	}
+	var col *timeline.Collector
+	var sink timeline.Sink
+	if len(tlSinks) > 0 || *top {
+		col = timeline.NewCollector(0, 0, tlSinks...)
+		sink = col
+		if *top {
+			dash := &timeline.Dashboard{Color: true}
+			fmt.Print(timeline.HideCursor)
+			sink = timeline.SinkFunc(func(s timeline.Snapshot) error {
+				err := col.Append(s)
+				win := col.Window()
+				fmt.Print(timeline.HomeAndClear + dash.Frame(win, timeline.Assess(win)))
+				return err
+			})
+		}
+	}
+
 	cfg := serving.Config{
-		Model:          mcfg,
-		Strategy:       strategy,
-		TargetQPS:      *qps,
-		Workers:        *workers,
-		Batch:          *batch,
-		QueueDepth:     *queue,
-		Warmup:         *warmup,
-		Measure:        *measure,
-		CollectTimeout: *timeout,
-		Seed:           *seed,
+		Model:            mcfg,
+		Strategy:         strategy,
+		TargetQPS:        *qps,
+		Workers:          *workers,
+		Batch:            *batch,
+		QueueDepth:       *queue,
+		Warmup:           *warmup,
+		Measure:          *measure,
+		CollectTimeout:   *timeout,
+		Seed:             *seed,
+		Timeline:         sink,
+		SnapshotInterval: *tlEvery,
 	}
 	d, err := serving.NewDriver(cfg)
 	if err != nil {
@@ -92,6 +135,21 @@ func main() {
 	fmt.Fprintf(os.Stderr, "sqlb-serve: driving %.0f qps for %v (after %v warmup)...\n",
 		*qps, *measure, *warmup)
 	rep, err := d.Run(ctx)
+	if col != nil {
+		if *top {
+			fmt.Print(timeline.ShowCursor + "\n")
+		}
+		tlErr := d.TimelineErr()
+		if cerr := col.Close(); cerr != nil && tlErr == nil {
+			tlErr = cerr
+		}
+		if tlErr != nil {
+			fatal("timeline: %v", tlErr)
+		}
+		if *tlPath != "" {
+			fmt.Fprintf(os.Stderr, "sqlb-serve: wrote %s\n", *tlPath)
+		}
+	}
 	if err != nil {
 		fatal("%v", err)
 	}

@@ -18,6 +18,17 @@
 // format). A scenario's load curve replaces -workload/-ramp; its churn
 // waves take providers down (and bring them back) as scheduled events.
 //
+// Observability: -timeline streams the first repetition's per-sample
+// timeline snapshots to a CSV file as the run produces them (watch it
+// live with sqlb-top -file run.csv -follow, or replay it afterwards);
+// -csv is a synonym kept from the pre-timeline exporter, now streaming
+// the same schema instead of buffering a chart in memory. Only the first
+// repetition is exported — the repetitions are statistically independent
+// runs and one coherent time series is what the dashboard and the replay
+// want. -top renders the dashboard in-process while the first repetition
+// runs. The timeline is a pure observer: results are byte-identical with
+// or without it.
+//
 // Usage:
 //
 //	sqlb-sim [-method sqlb|capacity|mariposa|random|knbest|sqlb-econ]
@@ -25,7 +36,8 @@
 //	         [-duration s] [-scale f] [-seed n]
 //	         [-repeats n] [-workers n]
 //	         [-classes k] [-selectivity s] [-class-skew z]
-//	         [-autonomy off|dissat-starve|full] [-csv file]
+//	         [-autonomy off|dissat-starve|full]
+//	         [-timeline file] [-csv file] [-top]
 package main
 
 import (
@@ -35,12 +47,13 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
 	"sqlb/internal/allocator"
 	"sqlb/internal/model"
 	"sqlb/internal/scenario"
 	"sqlb/internal/sim"
-	"sqlb/internal/stats"
+	"sqlb/internal/timeline"
 	"sqlb/internal/workload"
 )
 
@@ -55,7 +68,9 @@ func main() {
 		repeats  = flag.Int("repeats", 1, "repetitions to run and average (paper: 10)")
 		workers  = flag.Int("workers", 0, "concurrent repetitions (0 = GOMAXPROCS)")
 		autonomy = flag.String("autonomy", "off", "departures: off, dissat-starve, full")
-		csvPath  = flag.String("csv", "", "write the first repetition's sampled time series as CSV")
+		tlPath   = flag.String("timeline", "", "stream the first repetition's timeline snapshots to this CSV file (watch with sqlb-top)")
+		csvPath  = flag.String("csv", "", "synonym for -timeline (streams the timeline schema; first repetition only)")
+		top      = flag.Bool("top", false, "render the live sqlb-top dashboard while the first repetition runs")
 		classes  = flag.Int("classes", 0, "query classes spread over 130-150 units (0 = the paper's two)")
 		select_  = flag.Float64("selectivity", 0, "fraction of classes each provider advertises (0 or 1 = all, the paper's setup)")
 		skew     = flag.Float64("class-skew", 0, "Zipf exponent of query-class popularity (0 = uniform)")
@@ -91,11 +106,53 @@ func main() {
 		fatal("unknown -autonomy %q", *autonomy)
 	}
 
+	// Timeline plumbing for the first repetition: the CSV sinks stream
+	// rows as the run produces them (constant memory at any duration), and
+	// -top renders the dashboard from the collector's rolling window.
+	var tlFiles []string
+	if *tlPath != "" {
+		tlFiles = append(tlFiles, *tlPath)
+	}
+	if *csvPath != "" && *csvPath != *tlPath {
+		tlFiles = append(tlFiles, *csvPath)
+	}
+	var tlSinks []timeline.Sink
+	for _, p := range tlFiles {
+		cs, err := timeline.CreateCSV(p)
+		if err != nil {
+			fatal("%v", err)
+		}
+		// Per-row flushing lets sqlb-top -follow watch the run live.
+		cs.FlushEveryRow = true
+		tlSinks = append(tlSinks, cs)
+	}
+	var col *timeline.Collector
+	var firstSink timeline.Sink
+	if len(tlSinks) > 0 || *top {
+		col = timeline.NewCollector(0, 0, tlSinks...)
+		firstSink = col
+		if *top {
+			dash := &timeline.Dashboard{Color: true}
+			fmt.Print(timeline.HideCursor)
+			firstSink = timeline.SinkFunc(func(s timeline.Snapshot) error {
+				err := col.Append(s)
+				win := col.Window()
+				fmt.Print(timeline.HomeAndClear + dash.Frame(win, timeline.Assess(win)))
+				// Pace the frames so the virtual-time run plays as a short
+				// animation instead of flashing by; the delay is outside
+				// the simulated clock, so results are unaffected.
+				time.Sleep(40 * time.Millisecond)
+				return err
+			})
+		}
+	}
+
 	// Fan the repetitions out over the worker budget. Each repetition gets
 	// its own strategy instance and seed, so results[r] is the same whether
 	// the runs happen serially or concurrently.
 	results := make([]*sim.Result, *repeats)
 	errs := make([]error, *repeats)
+	var tlErr error
 	sem := make(chan struct{}, *workers)
 	var wg sync.WaitGroup
 	for r := 0; r < *repeats; r++ {
@@ -123,15 +180,32 @@ func main() {
 				SampleInterval: *duration / 50,
 				Autonomy:       auto,
 			}
+			if r == 0 {
+				opts.Timeline = firstSink
+			}
 			eng, err := sim.New(opts)
 			if err != nil {
 				errs[r] = err
 				return
 			}
 			results[r] = eng.Run()
+			if r == 0 {
+				tlErr = eng.TimelineErr()
+			}
 		}()
 	}
 	wg.Wait()
+	if col != nil {
+		if *top {
+			fmt.Print(timeline.ShowCursor)
+		}
+		if err := col.Close(); err != nil && tlErr == nil {
+			tlErr = err
+		}
+		if tlErr != nil {
+			fatal("timeline: %v", tlErr)
+		}
+	}
 	for _, err := range errs {
 		if err != nil {
 			fatal("%v", err)
@@ -211,32 +285,8 @@ func main() {
 		fmt.Printf("rejoins           %d providers re-registered by rejoin waves\n", len(res.ProviderJoins))
 	}
 
-	if *csvPath != "" {
-		chart := stats.Chart{ID: "run", Title: "sampled series", XLabel: "time"}
-		add := func(name string, get func(sim.Sample) float64) {
-			s := stats.Series{Name: name}
-			for _, smp := range res.Samples {
-				s.Add(smp.Time, get(smp))
-			}
-			chart.AddSeries(s)
-		}
-		add("workload", func(s sim.Sample) float64 { return s.WorkloadFraction })
-		add("prov_sat_intent", func(s sim.Sample) float64 { return s.ProvSatIntention.Mean })
-		add("prov_sat_pref", func(s sim.Sample) float64 { return s.ProvSatPreference.Mean })
-		add("prov_allocsat_pref", func(s sim.Sample) float64 { return s.ProvAllocSatPreference.Mean })
-		add("cons_allocsat", func(s sim.Sample) float64 { return s.ConsAllocSat.Mean })
-		add("util_mean", func(s sim.Sample) float64 { return s.Utilization.Mean })
-		add("util_fairness", func(s sim.Sample) float64 { return s.Utilization.Fairness })
-		add("resp_mean", func(s sim.Sample) float64 { return s.ResponseTimeMean })
-		add("alive_providers", func(s sim.Sample) float64 { return float64(s.AliveProviders) })
-		if scn != nil {
-			add("prov_departed_cum", func(s sim.Sample) float64 { return float64(s.ProviderDepartureCount) })
-			add("prov_joined_cum", func(s sim.Sample) float64 { return float64(s.ProviderJoinCount) })
-		}
-		if err := os.WriteFile(*csvPath, []byte(chart.CSV()), 0o644); err != nil {
-			fatal("write %s: %v", *csvPath, err)
-		}
-		fmt.Printf("wrote %s\n", *csvPath)
+	for _, p := range tlFiles {
+		fmt.Printf("wrote %s\n", p)
 	}
 }
 

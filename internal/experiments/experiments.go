@@ -17,6 +17,7 @@ import (
 	"sqlb/internal/model"
 	"sqlb/internal/sim"
 	"sqlb/internal/stats"
+	"sqlb/internal/timeline"
 	"sqlb/internal/workload"
 )
 
@@ -73,6 +74,15 @@ type Config struct {
 	// ext-scenarios experiment. Default: every preset in the
 	// internal/scenario library.
 	Scenarios []string
+
+	// Timeline, when non-nil, is called once per simulation run with the
+	// run's identity (e.g. "ramp/SQLB/rep0" or
+	// "full-autonomy/SQLB/w80/rep1") and returns the timeline sink that
+	// run streams its snapshots to — nil skips the run. The lab closes
+	// each returned sink after its run. Seeding is untouched by the hook,
+	// so results remain byte-identical with or without it, at any Workers
+	// value.
+	Timeline func(runID string) timeline.Sink
 }
 
 // DefaultConfig returns the laptop-scale defaults.
@@ -256,6 +266,28 @@ func (l *Lab) modelConfig() model.Config {
 	return cfg
 }
 
+// runSink resolves the per-run timeline sink; nil without a factory (or
+// when the factory skips the run).
+func (l *Lab) runSink(runID string) timeline.Sink {
+	if l.cfg.Timeline == nil {
+		return nil
+	}
+	return l.cfg.Timeline(runID)
+}
+
+// closeSink flushes and closes a run's timeline sink, surfacing any sink
+// error the engine swallowed to keep the Result deterministic.
+func (l *Lab) closeSink(sink timeline.Sink, eng *sim.Engine) error {
+	if sink == nil {
+		return nil
+	}
+	if err := eng.TimelineErr(); err != nil {
+		sink.Close()
+		return err
+	}
+	return sink.Close()
+}
+
 // seedFor derives a deterministic per-run seed.
 func (l *Lab) seedFor(kind string, method string, workloadPct int, repeat int) uint64 {
 	h := l.cfg.BaseSeed
@@ -289,12 +321,16 @@ func (l *Lab) rampResults(method allocator.Allocator) ([]*sim.Result, error) {
 				Duration:       l.cfg.Duration,
 				Seed:           l.seedFor("ramp", method.Name(), 0, rep),
 				SampleInterval: l.cfg.SampleInterval,
+				Timeline:       l.runSink(fmt.Sprintf("ramp/%s/rep%d", method.Name(), rep)),
 			}
 			eng, err := sim.New(opts)
 			if err != nil {
 				return err
 			}
 			rs[rep] = eng.Run()
+			if err := l.closeSink(opts.Timeline, eng); err != nil {
+				return fmt.Errorf("ramp %s rep %d: %w", method.Name(), rep, err)
+			}
 			if rs[rep].Err != nil {
 				return fmt.Errorf("ramp %s rep %d: %w", method.Name(), rep, rs[rep].Err)
 			}
@@ -346,13 +382,15 @@ func (l *Lab) sweepResults(kind sweepKind, method allocator.Allocator, frac floa
 	cell.once.Do(func() {
 		rs := make([]sweepRun, l.cfg.Repeats)
 		err := l.fanOut(l.cfg.Repeats, func(rep int) error {
+			pct := int(frac*100 + 0.5)
 			opts := sim.Options{
 				Config:   l.modelConfig(),
 				Strategy: method,
 				Workload: workload.Constant(frac),
 				Duration: l.cfg.SweepDuration,
-				Seed:     l.seedFor(string(kind), method.Name(), int(frac*100+0.5), rep),
+				Seed:     l.seedFor(string(kind), method.Name(), pct, rep),
 				Autonomy: kind.autonomy(),
+				Timeline: l.runSink(fmt.Sprintf("%s/%s/w%d/rep%d", kind, method.Name(), pct, rep)),
 			}
 			eng, err := sim.New(opts)
 			if err != nil {
@@ -363,6 +401,9 @@ func (l *Lab) sweepResults(kind sweepKind, method allocator.Allocator, frac floa
 				totals[dim] = sim.ClassTotals(eng.Population(), dim)
 			}
 			rs[rep] = sweepRun{Res: eng.Run(), Totals: totals}
+			if err := l.closeSink(opts.Timeline, eng); err != nil {
+				return fmt.Errorf("%s %s %v rep %d: %w", kind, method.Name(), frac, rep, err)
+			}
 			if rs[rep].Res.Err != nil {
 				return fmt.Errorf("%s %s %v rep %d: %w", kind, method.Name(), frac, rep, rs[rep].Res.Err)
 			}

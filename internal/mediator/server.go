@@ -69,6 +69,17 @@ func (s *Server) SetApply(apply bool) {
 	s.apply = apply
 }
 
+// WithPopulation runs f on the server's population under the mediation
+// lock, so f observes a consistent participant state with no mediation
+// commit in flight. Observability snapshots read utilization and
+// satisfaction gauges through it; f must only read, and must not call
+// back into the server.
+func (s *Server) WithPopulation(f func(*model.Population)) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f(s.pop)
+}
+
 // applyAllocation enqueues the query's work on every selected provider.
 // Callers hold s.mu.
 func (s *Server) applyAllocation(now float64, q *model.Query, alloc *Allocation) {

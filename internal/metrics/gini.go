@@ -1,0 +1,50 @@
+package metrics
+
+import "sort"
+
+// Gini returns the Gini coefficient of the values — the utilization-
+// imbalance gauge of the timeline dashboard, complementing the Jain
+// fairness index: fairness is quadratic-mean based and saturates near 1
+// for mild skew, while Gini spreads the interesting range out (0 = every
+// provider carries the same load, → 1 as one provider carries
+// everything).
+//
+// Computed over the sorted values as
+//
+//	G = (2 · Σᵢ i·x₍ᵢ₎) / (n · Σ x) − (n+1)/n    (i = 1…n, x₍ᵢ₎ ascending)
+//
+// which is O(n log n). Defined for non-negative inputs; negative values
+// are clamped to 0 (a utilization reading cannot be negative — this
+// keeps the bounds guarantee for defensive callers). The Gini of an
+// empty, single-value, or all-zero set is 0: nothing is imbalanced about
+// nothing. For n values the result lies in [0, (n−1)/n] ⊂ [0, 1), it is
+// scale-invariant (G(a·x) = G(x) for a > 0), and constant sets score
+// exactly 0 — the property suite in gini_test.go pins all three.
+func Gini(values []float64) float64 {
+	if len(values) < 2 {
+		return 0
+	}
+	sorted := make([]float64, len(values))
+	for i, v := range values {
+		if v < 0 {
+			v = 0
+		}
+		sorted[i] = v
+	}
+	sort.Float64s(sorted)
+	var sum, weighted float64
+	for i, v := range sorted {
+		sum += v
+		weighted += float64(i+1) * v
+	}
+	if sum == 0 {
+		return 0
+	}
+	n := float64(len(sorted))
+	g := 2*weighted/(n*sum) - (n+1)/n
+	if g < 0 {
+		// Float error on near-constant sets can land a hair below 0.
+		g = 0
+	}
+	return g
+}

@@ -1,0 +1,167 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestGiniKnownValues(t *testing.T) {
+	tests := []struct {
+		name   string
+		values []float64
+		want   float64
+	}{
+		{"empty", nil, 0},
+		{"single", []float64{0.7}, 0},
+		{"constant", []float64{0.5, 0.5, 0.5}, 0},
+		{"all zeros", []float64{0, 0, 0}, 0},
+		// One provider takes everything: G = (n-1)/n.
+		{"total concentration", []float64{0, 0, 0, 1}, 0.75},
+		// {1,2,3}: sorted weighted sum 1+4+9 = 14, G = 28/18 - 4/3 = 2/9.
+		{"arith progression", []float64{3, 1, 2}, 2.0 / 9},
+		// Negatives clamp to zero (utilizations cannot be negative; a
+		// stray negative reading must not flip the sign of the sum).
+		{"negative clamped", []float64{-1, 0, 1}, 2.0 / 3},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			if got := Gini(tt.values); !almostEqual(got, tt.want) {
+				t.Errorf("Gini(%v) = %v, want %v", tt.values, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestGiniDoesNotMutateInput(t *testing.T) {
+	in := []float64{3, 1, 2}
+	Gini(in)
+	if in[0] != 3 || in[1] != 1 || in[2] != 2 {
+		t.Fatalf("input reordered: %v", in)
+	}
+}
+
+// Bounds: 0 <= G <= (n-1)/n < 1 for any non-negative set.
+func TestGiniBoundsProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vs := clampSet(raw)
+		got := Gini(vs)
+		if got < 0 || got >= 1 {
+			return false
+		}
+		if n := len(vs); n >= 2 {
+			return got <= float64(n-1)/float64(n)+1e-9
+		}
+		return got == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Scale invariance: Gini measures relative concentration, so multiplying
+// every value by a positive constant changes nothing.
+func TestGiniScaleInvarianceProperty(t *testing.T) {
+	f := func(raw []float64, scale float64) bool {
+		vs := clampSet(raw)
+		s := math.Mod(math.Abs(scale), 100) + 0.001
+		scaled := make([]float64, len(vs))
+		for i, v := range vs {
+			scaled[i] = v * s
+		}
+		return math.Abs(Gini(vs)-Gini(scaled)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// A constant set is perfectly equal: G = 0 at any size and level.
+func TestGiniConstantSetProperty(t *testing.T) {
+	f := func(v float64, n uint8) bool {
+		val := math.Mod(math.Abs(v), 10) + 0.1
+		set := make([]float64, int(n%32)+1)
+		for i := range set {
+			set[i] = val
+		}
+		return math.Abs(Gini(set)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Order invariance: Gini is a set statistic.
+func TestGiniPermutationInvarianceProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		vs := clampSet(raw)
+		rev := make([]float64, len(vs))
+		for i, v := range vs {
+			rev[len(vs)-1-i] = v
+		}
+		return math.Abs(Gini(vs)-Gini(rev)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Cross-check against the O(n²) mean-absolute-difference definition:
+// G = Σᵢⱼ|xᵢ-xⱼ| / (2n²·mean).
+func TestGiniMatchesPairwiseOracleProperty(t *testing.T) {
+	oracle := func(vs []float64) float64 {
+		n := len(vs)
+		if n < 2 {
+			return 0
+		}
+		var sum, diff float64
+		for _, v := range vs {
+			sum += v
+		}
+		if sum <= 0 {
+			return 0
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				diff += math.Abs(vs[i] - vs[j])
+			}
+		}
+		return diff / (2 * float64(n) * sum)
+	}
+	f := func(raw []float64) bool {
+		vs := clampSet(raw)
+		if len(vs) > 64 {
+			vs = vs[:64]
+		}
+		return math.Abs(Gini(vs)-oracle(vs)) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Gini and Jain fairness move in opposite directions: a fairer set has a
+// lower Gini. Pinned on a monotone family rather than arbitrary pairs
+// (the two statistics order some exotic sets differently).
+func TestGiniComplementsFairness(t *testing.T) {
+	prev := -1.0
+	prevFair := 2.0
+	for k := 0; k <= 4; k++ {
+		// Increasing concentration: k of 8 providers idle.
+		vs := make([]float64, 8)
+		for i := range vs {
+			if i >= k {
+				vs[i] = 1
+			}
+		}
+		g := Gini(vs)
+		fair := Fairness(vs)
+		if g <= prev {
+			t.Fatalf("Gini not increasing with concentration: %v then %v", prev, g)
+		}
+		if fair >= prevFair {
+			t.Fatalf("Fairness not decreasing with concentration: %v then %v", prevFair, fair)
+		}
+		prev, prevFair = g, fair
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"sqlb/internal/model"
 	"sqlb/internal/randx"
 	"sqlb/internal/stats"
+	"sqlb/internal/timeline"
 	"sqlb/internal/workload"
 )
 
@@ -61,6 +62,15 @@ type Config struct {
 	CollectTimeout time.Duration
 	// Seed derives the population, workload, and arrival randomness.
 	Seed uint64
+	// Timeline, when non-nil, receives one timeline.Snapshot per
+	// SnapshotInterval during the run plus a final one after the worker
+	// pool drains, with measured-phase interval deltas that sum exactly to
+	// the Report totals. The driver does not close the sink; the first
+	// Append error surfaces via Driver.TimelineErr.
+	Timeline timeline.Sink
+	// SnapshotInterval is the timeline snapshot cadence (0 = 1s). Ignored
+	// without a Timeline sink.
+	SnapshotInterval time.Duration
 }
 
 func (c *Config) withDefaults() error {
@@ -88,6 +98,9 @@ func (c *Config) withDefaults() error {
 	if c.CollectTimeout <= 0 {
 		c.CollectTimeout = 50 * time.Millisecond
 	}
+	if c.SnapshotInterval <= 0 {
+		c.SnapshotInterval = time.Second
+	}
 	return nil
 }
 
@@ -110,6 +123,10 @@ type Driver struct {
 	gen   *workload.Generator
 	arr   *randx.Rand
 	queue chan *submission
+	// tl mirrors the measured-phase accounting into timeline snapshots;
+	// nil when Config.Timeline is unset (the default hot path then touches
+	// no atomics).
+	tl *timelineRecorder
 }
 
 // NewDriver builds the population from the config seed, wires a mediation
@@ -130,14 +147,18 @@ func NewDriver(cfg Config) (*Driver, error) {
 	srv := mediator.NewServer(cfg.Strategy, pop, cfg.CollectTimeout, nil)
 	srv.SetMatchmaker(matchmaking.BuildIndex(pop))
 	srv.SetApply(true)
-	return &Driver{
+	d := &Driver{
 		cfg:   cfg,
 		pop:   pop,
 		srv:   srv,
 		gen:   gen,
 		arr:   arrRng,
 		queue: make(chan *submission, cfg.QueueDepth),
-	}, nil
+	}
+	if cfg.Timeline != nil {
+		d.tl = newTimelineRecorder(cfg.Timeline, cfg.SnapshotInterval)
+	}
+	return d, nil
 }
 
 // Population exposes the driver's population (read-only; reports and tests).
@@ -193,6 +214,29 @@ func (d *Driver) Run(ctx context.Context) (*Report, error) {
 	end := warmupEnd.Add(d.cfg.Measure)
 	var submitted, rejected uint64
 
+	// The snapshot ticker runs for as long as workers do; the final
+	// snapshot is taken after the pool drains, so the last interval delta
+	// closes the books exactly on the Report totals.
+	var tlStop chan struct{}
+	var tlDone chan struct{}
+	if d.tl != nil {
+		tlStop = make(chan struct{})
+		tlDone = make(chan struct{})
+		go func() {
+			defer close(tlDone)
+			ticker := time.NewTicker(d.cfg.SnapshotInterval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-tlStop:
+					return
+				case <-ticker.C:
+					d.tl.snapshot(d, time.Since(start).Seconds())
+				}
+			}
+		}()
+	}
+
 	next := start
 	for {
 		gap := d.arr.Exp(d.cfg.TargetQPS)
@@ -214,16 +258,27 @@ func (d *Driver) Run(ctx context.Context) (*Report, error) {
 		measured := !next.Before(warmupEnd)
 		if measured {
 			submitted++
+			if d.tl != nil {
+				d.tl.submitted.Add(1)
+			}
 		}
 		if err := d.offer(&submission{q: q, scheduled: next, measured: measured}); err != nil {
 			if measured {
 				rejected++
+				if d.tl != nil {
+					d.tl.rejected.Add(1)
+				}
 			}
 		}
 	}
 	close(d.queue)
 	for range workers {
 		<-done
+	}
+	if d.tl != nil {
+		close(tlStop)
+		<-tlDone
+		d.tl.snapshot(d, time.Since(start).Seconds())
 	}
 
 	r := &Report{
@@ -311,9 +366,15 @@ func (d *Driver) account(ws *workerStats, sub *submission, alloc *mediator.Alloc
 		}
 		if errors.Is(err, mediator.ErrNoProviders) {
 			ws.dropped++
+			if d.tl != nil {
+				d.tl.dropped.Add(1)
+			}
 			return
 		}
 		ws.errs++
+		if d.tl != nil {
+			d.tl.errs.Add(1)
+		}
 		// A cancelled run is cut short, not broken: the queued backlog
 		// fails mediation with the dead context, which belongs in the
 		// error count but is not a strategy or wiring failure.
@@ -328,7 +389,12 @@ func (d *Driver) account(ws *workerStats, sub *submission, alloc *mediator.Alloc
 	now := time.Now()
 	ws.mediated++
 	ws.lastDone = now
-	ws.hist.Observe(now.Sub(sub.scheduled).Seconds())
+	lat := now.Sub(sub.scheduled).Seconds()
+	ws.hist.Observe(lat)
+	if d.tl != nil {
+		d.tl.mediated.Add(1)
+		d.tl.observe(lat)
+	}
 	if alloc.Degraded() {
 		ws.degraded++
 	}

@@ -1,0 +1,135 @@
+package serving
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sqlb/internal/metrics"
+	"sqlb/internal/model"
+	"sqlb/internal/stats"
+	"sqlb/internal/timeline"
+)
+
+// timelineRecorder produces the driver's periodic timeline snapshots. It
+// mirrors exactly the measured-phase accounting the final Report is built
+// from — the arrival loop bumps submitted/rejected, account() bumps
+// mediated/dropped/errors at the very same branch points — so the sum of
+// the interval deltas it emits reconciles exactly with the Report totals.
+// The mirror counters are atomics (the snapshot goroutine reads them
+// live) and exist only when a timeline is configured, keeping the default
+// hot path free of shared-counter traffic.
+type timelineRecorder struct {
+	sink     timeline.Sink
+	interval time.Duration
+
+	submitted atomic.Uint64
+	rejected  atomic.Uint64
+	mediated  atomic.Uint64
+	dropped   atomic.Uint64
+	errs      atomic.Uint64
+
+	// win collects the measured mediation latencies since the previous
+	// snapshot; swapped out whole at snapshot time so quantiles are
+	// interval-local (unlike the sim, whose engine keeps one run
+	// histogram).
+	mu  sync.Mutex
+	win *stats.Histogram
+
+	prevTime      float64
+	prevSubmitted uint64
+	prevMediated  uint64
+	prevRejected  uint64
+	prevDropped   uint64
+	prevErrs      uint64
+
+	err error
+}
+
+func newTimelineRecorder(sink timeline.Sink, interval time.Duration) *timelineRecorder {
+	return &timelineRecorder{
+		sink:     sink,
+		interval: interval,
+		win:      stats.DefaultLatencyHistogram(),
+	}
+}
+
+// observe records one measured mediation latency into the interval window.
+func (t *timelineRecorder) observe(sec float64) {
+	t.mu.Lock()
+	t.win.Observe(sec)
+	t.mu.Unlock()
+}
+
+// snapshot derives and emits one interval snapshot at the given elapsed
+// run time (seconds since the driver started).
+func (t *timelineRecorder) snapshot(d *Driver, elapsed float64) {
+	sub := t.submitted.Load()
+	med := t.mediated.Load()
+	rej := t.rejected.Load()
+	drp := t.dropped.Load()
+	ers := t.errs.Load()
+
+	snap := timeline.Snapshot{
+		Time:       elapsed,
+		Source:     "serve",
+		Rejected:   float64(rej - t.prevRejected),
+		Dropped:    float64(drp - t.prevDropped),
+		Errors:     float64(ers - t.prevErrs),
+		QueueDepth: float64(len(d.queue)),
+	}
+	if dt := elapsed - t.prevTime; dt > 0 {
+		snap.QPSIn = float64(sub-t.prevSubmitted) / dt
+		snap.QPSOut = float64(med-t.prevMediated) / dt
+	}
+
+	t.mu.Lock()
+	win := t.win
+	t.win = stats.DefaultLatencyHistogram()
+	t.mu.Unlock()
+	if win.Count() > 0 {
+		snap.LatencyMean = win.Mean()
+		snap.LatencyP50 = win.Quantile(0.5)
+		snap.LatencyP95 = win.Quantile(0.95)
+		snap.LatencyP99 = win.Quantile(0.99)
+	}
+
+	// Participant gauges are read under the server's mediation lock so no
+	// commit is mid-flight. The serving path has no sim-style smoothing;
+	// the raw window trackers are the live readings.
+	d.srv.WithPopulation(func(pop *model.Population) {
+		timeline.FillUtilization(&snap, pop, elapsed)
+		provSat := metrics.Summarize(pop.ProviderValues(true, func(p *model.Provider) float64 {
+			return p.Public.Satisfaction()
+		}))
+		snap.ProvSat = provSat.Mean
+		snap.SatFairness = provSat.Fairness
+		snap.AllocSat = metrics.Summarize(pop.ProviderValues(true, func(p *model.Provider) float64 {
+			return p.Public.AllocationSatisfaction()
+		})).Mean
+		snap.ConsSat = metrics.Summarize(pop.ConsumerValues(true, func(c *model.Consumer) float64 {
+			return c.Tracker.Satisfaction()
+		})).Mean
+	})
+
+	t.prevTime = elapsed
+	t.prevSubmitted = sub
+	t.prevMediated = med
+	t.prevRejected = rej
+	t.prevDropped = drp
+	t.prevErrs = ers
+
+	if err := t.sink.Append(snap); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// TimelineErr reports the first error the timeline sink returned (nil
+// without a sink, or on a healthy one). Kept off the Report so enabling a
+// timeline never changes a run's outcome.
+func (d *Driver) TimelineErr() error {
+	if d.tl == nil {
+		return nil
+	}
+	return d.tl.err
+}

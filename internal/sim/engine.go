@@ -71,6 +71,11 @@ type Engine struct {
 	smoothAlpha    float64
 	smoothAlphaC   float64
 	smoothInterval float64
+
+	// tl streams a timeline.Snapshot per metric sample to Options.Timeline;
+	// nil when no sink is configured. Strictly an observer — see the field
+	// doc on Options.Timeline for the determinism contract.
+	tl *timelineEmitter
 }
 
 type inflightQuery struct {
@@ -119,6 +124,9 @@ func New(opts Options) (*Engine, error) {
 	}
 	if e.scn != nil && e.scn.Load != nil {
 		e.load = e.scn.Load
+	}
+	if opts.Timeline != nil {
+		e.tl = &timelineEmitter{sink: opts.Timeline}
 	}
 	// The indexed matchmaker replaces the naive full-population scan: the
 	// mediator sees only the O(|Pq|) candidate subset per query. In the
@@ -353,7 +361,11 @@ func pickWave(rng *randx.Rand, pool []*model.Provider, w scenario.Wave) []*model
 
 // takeSample snapshots the §4 metrics over the alive participants.
 func (e *Engine) takeSample() {
-	e.samples = append(e.samples, e.snapshot())
+	s := e.snapshot()
+	e.samples = append(e.samples, s)
+	if e.tl != nil {
+		e.tl.emit(e, s)
+	}
 }
 
 func (e *Engine) snapshot() Sample {
@@ -481,12 +493,16 @@ func overThreshold(a Autonomy, optimal float64) float64 {
 }
 
 func (e *Engine) buildResult() *Result {
+	final := e.snapshot()
+	if e.tl != nil {
+		e.tl.emit(e, final)
+	}
 	r := &Result{
 		Method:             e.opts.Strategy.Name(),
 		Seed:               e.opts.Seed,
 		Duration:           e.opts.Duration,
 		Samples:            e.samples,
-		Final:              e.snapshot(),
+		Final:              final,
 		IssuedQueries:      e.issued,
 		CompletedQueries:   e.completed,
 		DroppedQueries:     e.dropped,

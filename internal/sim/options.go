@@ -7,6 +7,7 @@ import (
 	"sqlb/internal/allocator"
 	"sqlb/internal/model"
 	"sqlb/internal/scenario"
+	"sqlb/internal/timeline"
 	"sqlb/internal/workload"
 )
 
@@ -147,6 +148,16 @@ type Options struct {
 	ConsumerSmoothingAlpha float64
 	// SmoothingInterval is the cadence of the self-assessment update.
 	SmoothingInterval float64
+	// Timeline, when non-nil, receives one timeline.Snapshot per metric
+	// sample (and one for the final state) — the streaming observability
+	// hook behind sqlb-top and the -timeline/-csv exports. The sink is a
+	// pure observer of the sample path: it is fed copies after each
+	// sample is recorded, draws nothing from the RNG streams, and
+	// mutates no engine state, so enabling it leaves the Result
+	// byte-identical (TestTimelineDeterminism). The engine does not
+	// close the sink; the first Append error is surfaced via
+	// Engine.TimelineErr.
+	Timeline timeline.Sink
 }
 
 func (o *Options) smoothingDefaults() (alpha, consumerAlpha, interval float64) {

@@ -1,0 +1,68 @@
+package sim
+
+import (
+	"sqlb/internal/timeline"
+)
+
+// timelineEmitter converts each §4 metric sample into a unified
+// timeline.Snapshot and pushes it to the configured sink. It lives
+// strictly downstream of the sample path: it reads the sample and the
+// engine's counters, keeps its own previous-counter state for the
+// interval deltas, and touches nothing the simulation reads back — the
+// structural half of the determinism guarantee (the other half is that
+// it draws nothing from the RNG streams).
+type timelineEmitter struct {
+	sink timeline.Sink
+
+	prevTime      float64
+	prevIssued    uint64
+	prevCompleted uint64
+	prevDropped   uint64
+	err           error
+}
+
+// emit derives the snapshot for one sample and appends it to the sink.
+func (t *timelineEmitter) emit(e *Engine, s Sample) {
+	snap := timeline.Snapshot{
+		Time:             s.Time,
+		Source:           "sim",
+		WorkloadFraction: s.WorkloadFraction,
+		Dropped:          float64(e.dropped - t.prevDropped),
+		QueueDepth:       float64(len(e.inflight)),
+		LatencyMean:      s.ResponseTimeMean,
+		// Quantiles cut the cumulative run histogram (the engine keeps no
+		// per-interval histogram); the mean above is interval-local.
+		LatencyP50:  e.respHist.Quantile(0.5),
+		LatencyP95:  e.respHist.Quantile(0.95),
+		LatencyP99:  e.respHist.Quantile(0.99),
+		ProvSat:     s.ProvSatPreference.Mean,
+		ConsSat:     s.ConsSat.Mean,
+		AllocSat:    s.ProvAllocSatPreference.Mean,
+		SatFairness: s.ProvSatPreference.Fairness,
+		Departures:  float64(s.ProviderDepartureCount),
+		Joins:       float64(s.ProviderJoinCount),
+	}
+	timeline.FillUtilization(&snap, e.pop, e.now)
+	if dt := s.Time - t.prevTime; dt > 0 {
+		snap.QPSIn = float64(e.issued-t.prevIssued) / dt
+		snap.QPSOut = float64(e.completed-t.prevCompleted) / dt
+	}
+	t.prevTime = s.Time
+	t.prevIssued = e.issued
+	t.prevCompleted = e.completed
+	t.prevDropped = e.dropped
+	if err := t.sink.Append(snap); err != nil && t.err == nil {
+		t.err = err
+	}
+}
+
+// TimelineErr reports the first error the timeline sink returned (nil
+// without a sink, or on a healthy one). Kept off Result so that enabling
+// a timeline cannot change the simulation outcome even when the sink
+// fails mid-run.
+func (e *Engine) TimelineErr() error {
+	if e.tl == nil {
+		return nil
+	}
+	return e.tl.err
+}

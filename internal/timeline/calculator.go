@@ -1,0 +1,150 @@
+package timeline
+
+import "fmt"
+
+// Health levels, ordered by severity.
+const (
+	LevelOK   = "ok"
+	LevelWarn = "warn"
+	LevelCrit = "crit"
+)
+
+// Thresholds the calculator judges a snapshot window against. Exported
+// so the dashboard and tests state them once; the defaults follow the
+// behaviours the experiment book records (providers flee past ~220% of
+// optimal utilization, satisfaction collapse precedes departure
+// cascades).
+const (
+	// SaturationUtil is the mean utilization above which the fleet is
+	// considered saturated (queues grow without bound past 1.0).
+	SaturationUtil = 0.95
+	// StarvationUtil is the mean utilization below which a loaded system
+	// is leaving capacity idle.
+	StarvationUtil = 0.15
+	// ImbalanceGini is the utilization Gini above which load is
+	// considered imbalanced across providers.
+	ImbalanceGini = 0.35
+	// RejectRateWarn and DropRateWarn are the fractions of incoming
+	// queries rejected (admission control) or dropped (no capable
+	// provider) that trigger a recommendation.
+	RejectRateWarn = 0.01
+	DropRateWarn   = 0.01
+	// SatTrendWarn is the per-window satisfaction drop that reads as
+	// "degrading": mean provider δs falling by more than this across the
+	// visible window.
+	SatTrendWarn = 0.05
+)
+
+// Health is the calculator's digest of a snapshot window: the gauges the
+// dashboard renders plus threshold-based recommendations, most severe
+// first — the snapshot→calculator→TUI stage after epm-go.
+type Health struct {
+	// Level is the overall verdict: ok, warn, or crit.
+	Level string
+	// UtilMean and Imbalance are the latest utilization mean and Gini.
+	UtilMean  float64
+	Imbalance float64
+	// SatTrend is the change of mean provider satisfaction across the
+	// window (last − first of a least-squares fit; negative = degrading).
+	SatTrend float64
+	// DropRate and RejectRate are window totals over window arrivals.
+	DropRate   float64
+	RejectRate float64
+	// Recommendations are the triggered advice lines (empty = healthy).
+	Recommendations []string
+}
+
+// Assess digests a snapshot window (oldest first, as Collector.Window
+// returns it) into health signals and recommendations.
+func Assess(window []Snapshot) Health {
+	var h Health
+	h.Level = LevelOK
+	if len(window) == 0 {
+		return h
+	}
+	last := window[len(window)-1]
+	h.UtilMean = last.UtilMean
+	h.Imbalance = last.UtilGini
+	h.SatTrend = satTrend(window)
+
+	var in, dropped, rejected float64
+	for i := range window {
+		// QPSIn is a rate; scale back to a count by the span each
+		// snapshot covers so rates and deltas mix correctly.
+		in += window[i].QPSIn * span(window, i)
+		dropped += window[i].Dropped
+		rejected += window[i].Rejected
+	}
+	if in > 0 {
+		h.DropRate = dropped / in
+		h.RejectRate = rejected / in
+	}
+
+	warn := func(format string, args ...any) {
+		h.Recommendations = append(h.Recommendations, fmt.Sprintf(format, args...))
+		if h.Level == LevelOK {
+			h.Level = LevelWarn
+		}
+	}
+	crit := func(format string, args ...any) {
+		h.Recommendations = append(h.Recommendations, fmt.Sprintf(format, args...))
+		h.Level = LevelCrit
+	}
+
+	if h.UtilMean > SaturationUtil {
+		crit("providers saturated (util %.2f): add capacity, lower the offered load, or expect overutilization departures", h.UtilMean)
+	}
+	if h.RejectRate > RejectRateWarn {
+		crit("admission control rejecting %.1f%% of arrivals: raise -queue/-workers/-batch or lower -qps", 100*h.RejectRate)
+	}
+	if h.DropRate > DropRateWarn {
+		warn("%.1f%% of queries dropped: some classes have no alive capable provider — check selectivity and churn", 100*h.DropRate)
+	}
+	if h.Imbalance > ImbalanceGini {
+		warn("utilization imbalance (gini %.2f): load concentrates on few providers — review the allocation method", h.Imbalance)
+	}
+	if h.SatTrend < -SatTrendWarn {
+		warn("provider satisfaction falling (%+.3f over window): departure cascade risk under autonomy", h.SatTrend)
+	}
+	if h.UtilMean < StarvationUtil && last.QPSIn > 0 && h.Level == LevelOK {
+		warn("fleet underutilized (util %.2f): capacity far exceeds offered load", h.UtilMean)
+	}
+	return h
+}
+
+// satTrend fits mean provider satisfaction over time by least squares and
+// returns the fitted change across the window — robust to single-sample
+// noise, unlike last-minus-first.
+func satTrend(window []Snapshot) float64 {
+	if len(window) < 2 {
+		return 0
+	}
+	var sumT, sumV, sumTT, sumTV float64
+	for i := range window {
+		t, v := window[i].Time, window[i].ProvSat
+		sumT += t
+		sumV += v
+		sumTT += t * t
+		sumTV += t * v
+	}
+	n := float64(len(window))
+	den := n*sumTT - sumT*sumT
+	if den == 0 {
+		return 0
+	}
+	slope := (n*sumTV - sumT*sumV) / den
+	return slope * (window[len(window)-1].Time - window[0].Time)
+}
+
+// span estimates the time covered by window[i]: the gap to its
+// predecessor, or to its successor for the first snapshot.
+func span(window []Snapshot, i int) float64 {
+	switch {
+	case i > 0:
+		return window[i].Time - window[i-1].Time
+	case len(window) > 1:
+		return window[1].Time - window[0].Time
+	default:
+		return 1
+	}
+}

@@ -1,0 +1,194 @@
+package timeline
+
+import (
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden dashboard frame")
+
+func TestSparkline(t *testing.T) {
+	if got := Sparkline(nil, 10); got != "" {
+		t.Errorf("empty series: %q", got)
+	}
+	if got := Sparkline([]float64{1, 2, 3}, 0); got != "" {
+		t.Errorf("zero width: %q", got)
+	}
+	// Monotone series: levels must be non-decreasing, first lowest, last
+	// highest.
+	got := Sparkline([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8)
+	if utf8.RuneCountInString(got) != 8 {
+		t.Fatalf("width: %q", got)
+	}
+	runes := []rune(got)
+	if runes[0] != '▁' || runes[7] != '█' {
+		t.Errorf("scaling endpoints: %q", got)
+	}
+	for i := 1; i < len(runes); i++ {
+		if runeLevel(runes[i]) < runeLevel(runes[i-1]) {
+			t.Errorf("non-monotone sparkline: %q", got)
+		}
+	}
+	// Longer series than width: only the tail is shown.
+	tail := Sparkline([]float64{100, 100, 100, 0, 1}, 2)
+	if utf8.RuneCountInString(tail) != 2 {
+		t.Errorf("tail windowing: %q", tail)
+	}
+	// A flat series renders as a low bar, not blanks.
+	if got := Sparkline([]float64{5, 5, 5}, 3); got != "▁▁▁" {
+		t.Errorf("flat series: %q", got)
+	}
+}
+
+func runeLevel(r rune) int {
+	for i, l := range sparkLevels {
+		if l == r {
+			return i
+		}
+	}
+	return -1
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 1, 4); got != "[██··]" {
+		t.Errorf("half bar: %q", got)
+	}
+	if got := Bar(2, 1, 4); got != "[████]" {
+		t.Errorf("overflow clamps: %q", got)
+	}
+	if got := Bar(-1, 1, 4); got != "[····]" {
+		t.Errorf("negative clamps: %q", got)
+	}
+	if got := Bar(1, 0, 4); got != "[····]" {
+		t.Errorf("zero max: %q", got)
+	}
+}
+
+func TestStripANSI(t *testing.T) {
+	in := "\x1b[31;1mcrit\x1b[0m and \x1b[H\x1b[J\x1b[?25lplain"
+	if got := StripANSI(in); got != "crit and plain" {
+		t.Errorf("StripANSI = %q", got)
+	}
+}
+
+// goldenWindow builds a deterministic 24-snapshot window shaped like a
+// flash crowd: load and queue rise, satisfaction falls, a few drops late.
+func goldenWindow() []Snapshot {
+	win := make([]Snapshot, 24)
+	for i := range win {
+		t := float64(i+1) * 50
+		ramp := float64(i) / 23
+		win[i] = Snapshot{
+			Time:             t,
+			Source:           "sim",
+			WorkloadFraction: 0.4 + 0.6*ramp,
+			QPSIn:            120 + 200*ramp,
+			QPSOut:           120 + 150*ramp,
+			Dropped:          math.Floor(3 * ramp),
+			QueueDepth:       math.Floor(40 * ramp),
+			LatencyMean:      0.08 + 0.3*ramp,
+			LatencyP50:       0.06 + 0.2*ramp,
+			LatencyP95:       0.2 + 0.9*ramp,
+			LatencyP99:       0.4 + 1.8*ramp,
+			ProvSat:          0.72 - 0.2*ramp,
+			ConsSat:          0.64 - 0.1*ramp,
+			AllocSat:         0.97,
+			SatFairness:      0.94 - 0.05*ramp,
+			UtilMean:         0.45 + 0.5*ramp,
+			UtilFairness:     0.9 - 0.1*ramp,
+			UtilGini:         0.12 + 0.3*ramp,
+			UtilClassLow:     0.3 + 0.65*ramp,
+			UtilClassMed:     0.45 + 0.5*ramp,
+			UtilClassHigh:    0.5 + 0.4*ramp,
+			AliveProviders:   100 - math.Floor(6*ramp),
+			AliveConsumers:   50,
+			Departures:       math.Floor(6 * ramp),
+			Joins:            1,
+		}
+	}
+	return win
+}
+
+// TestDashboardGoldenFrame is the headless render smoke test: a fixed
+// window renders at a fixed width, ANSI codes are stripped, and the plain
+// text must match the checked-in golden frame byte for byte. Regenerate
+// with `go test ./internal/timeline -run Golden -update` after deliberate
+// layout changes.
+func TestDashboardGoldenFrame(t *testing.T) {
+	win := goldenWindow()
+	d := &Dashboard{Width: 100, Color: true}
+	frame := StripANSI(d.Frame(win, Assess(win)))
+
+	golden := filepath.Join("testdata", "frame.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(frame), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create the golden frame)", err)
+	}
+	if frame != string(want) {
+		t.Errorf("frame drifted from golden:\n--- got ---\n%s\n--- want ---\n%s", frame, want)
+	}
+
+	// Frame invariants that hold at any width: no line exceeds the frame
+	// width, every frame carries the health verdict.
+	for _, line := range strings.Split(strings.TrimRight(frame, "\n"), "\n") {
+		if n := utf8.RuneCountInString(line); n > 100 {
+			t.Errorf("line exceeds width (%d runes): %q", n, line)
+		}
+	}
+	if !strings.Contains(frame, "health") {
+		t.Error("frame is missing the health line")
+	}
+}
+
+func TestDashboardEmptyWindow(t *testing.T) {
+	d := &Dashboard{}
+	frame := StripANSI(d.Frame(nil, Assess(nil)))
+	if !strings.Contains(frame, "waiting for snapshots") {
+		t.Errorf("empty frame = %q", frame)
+	}
+}
+
+func TestDashboardColorToggle(t *testing.T) {
+	win := goldenWindow()
+	plain := (&Dashboard{Width: 100}).Frame(win, Assess(win))
+	if strings.Contains(plain, "\x1b[") {
+		t.Error("colorless frame contains escape sequences")
+	}
+	colored := (&Dashboard{Width: 100, Color: true}).Frame(win, Assess(win))
+	if !strings.Contains(colored, "\x1b[") {
+		t.Error("colored frame has no escape sequences")
+	}
+	if StripANSI(colored) != plain {
+		t.Error("color must only add escapes, not change the text")
+	}
+}
+
+func TestFmtSecs(t *testing.T) {
+	cases := []struct {
+		v    float64
+		want string
+	}{
+		{0, "    -  "},
+		{5e-6, "  5.0µs"},
+		{0.004, "  4.0ms"},
+		{2.5, " 2.50s "},
+	}
+	for _, c := range cases {
+		if got := fmtSecs(c.v); got != c.want {
+			t.Errorf("fmtSecs(%v) = %q, want %q", c.v, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,345 @@
+package timeline
+
+import (
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// snap builds a test snapshot whose fields are all distinguishable, so
+// codec and aggregation tests catch swapped columns.
+func snap(t float64) Snapshot {
+	return Snapshot{
+		Time:             t,
+		Source:           "sim",
+		WorkloadFraction: 0.8,
+		QPSIn:            100 + t,
+		QPSOut:           90 + t,
+		Dropped:          1,
+		Rejected:         2,
+		Errors:           0,
+		QueueDepth:       5 + t,
+		LatencyMean:      0.25,
+		LatencyP50:       0.2,
+		LatencyP95:       0.9,
+		LatencyP99:       1.5,
+		ProvSat:          0.61,
+		ConsSat:          0.55,
+		AllocSat:         0.97,
+		SatFairness:      0.93,
+		UtilMean:         0.72,
+		UtilFairness:     0.88,
+		UtilGini:         0.21,
+		UtilClassLow:     0.5,
+		UtilClassMed:     0.7,
+		UtilClassHigh:    0.9,
+		AliveProviders:   100,
+		AliveConsumers:   50,
+		Departures:       3,
+		Joins:            1,
+	}
+}
+
+func TestFieldsTableComplete(t *testing.T) {
+	// Every field must roundtrip through its get/set pair, and names must
+	// be unique — the schema table is the single source of truth for the
+	// codec, so a broken accessor silently corrupts recorded timelines.
+	seen := map[string]bool{}
+	for i, f := range fields {
+		if f.name == "" || seen[f.name] {
+			t.Fatalf("field %d: empty or duplicate name %q", i, f.name)
+		}
+		seen[f.name] = true
+		var s Snapshot
+		f.set(&s, 42.5)
+		if got := f.get(&s); got != 42.5 {
+			t.Fatalf("field %q: set 42.5, get %v (get/set pair mismatched)", f.name, got)
+		}
+	}
+}
+
+func TestCSVRoundtrip(t *testing.T) {
+	var sb strings.Builder
+	sink := NewCSVSink(&sb)
+	want := []Snapshot{snap(10), snap(20), snap(30)}
+	for _, s := range want {
+		if err := sink.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("decoded %d rows, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("row %d: decoded %+v\nwant %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestCSVDecoderSkipsUnknownColumns(t *testing.T) {
+	in := "source,time,mystery,util_mean\nsim,5,99,0.5\n"
+	got, err := ReadCSV(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Time != 5 || got[0].UtilMean != 0.5 {
+		t.Fatalf("got %+v", got)
+	}
+}
+
+func TestCSVDecoderRejectsForeignCSV(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("a,b\n1,2\n")); err == nil {
+		t.Fatal("want an error for a non-timeline header")
+	}
+}
+
+// slowWriter delivers data to the decoder in tiny chunks so partial rows
+// are the common case, as when tailing a live file mid-write.
+type slowWriter struct {
+	data []byte
+	pos  int
+}
+
+func (s *slowWriter) Read(p []byte) (int, error) {
+	if s.pos >= len(s.data) {
+		return 0, io.EOF
+	}
+	p[0] = s.data[s.pos]
+	s.pos++
+	return 1, nil
+}
+
+func TestDecoderBuffersPartialLines(t *testing.T) {
+	var sb strings.Builder
+	sink := NewCSVSink(&sb)
+	for _, s := range []Snapshot{snap(1), snap(2)} {
+		if err := sink.Append(s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sink.Flush()
+	got, err := ReadCSV(&slowWriter{data: []byte(sb.String())})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Time != 1 || got[1].Time != 2 {
+		t.Fatalf("got %d rows %+v", len(got), got)
+	}
+}
+
+func TestTailerFollowsGrowingFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.csv")
+	sink, err := CreateCSV(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink.FlushEveryRow = true
+	if err := sink.Append(snap(1)); err != nil {
+		t.Fatal(err)
+	}
+
+	tail, err := OpenTail(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tail.Close()
+	rows, err := tail.Poll()
+	if err != nil || len(rows) != 1 || rows[0].Time != 1 {
+		t.Fatalf("first poll: rows=%v err=%v", rows, err)
+	}
+
+	// Nothing new yet: Poll must return empty, not error.
+	if rows, err := tail.Poll(); err != nil || len(rows) != 0 {
+		t.Fatalf("idle poll: rows=%v err=%v", rows, err)
+	}
+
+	// The producer appends while the tailer is live.
+	if err := sink.Append(snap(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Append(snap(3)); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = tail.Poll()
+	if err != nil || len(rows) != 2 || rows[0].Time != 2 || rows[1].Time != 3 {
+		t.Fatalf("live poll: rows=%v err=%v", rows, err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectorPassthrough(t *testing.T) {
+	var got []Snapshot
+	c := NewCollector(0, 4, SinkFunc(func(s Snapshot) error {
+		got = append(got, s)
+		return nil
+	}))
+	for i := 1; i <= 6; i++ {
+		c.Offer(snap(float64(i)))
+	}
+	if len(got) != 6 {
+		t.Fatalf("passthrough emitted %d rows, want 6", len(got))
+	}
+	if c.Rows() != 6 {
+		t.Fatalf("Rows() = %d, want 6", c.Rows())
+	}
+	// The raw window is bounded: only the last 4 of 6 survive, oldest
+	// first.
+	win := c.Window()
+	if len(win) != 4 || win[0].Time != 3 || win[3].Time != 6 {
+		t.Fatalf("window = %v", times(win))
+	}
+	last, ok := c.Last()
+	if !ok || last.Time != 6 {
+		t.Fatalf("Last() = %v %v", last, ok)
+	}
+}
+
+func times(win []Snapshot) []float64 {
+	out := make([]float64, len(win))
+	for i := range win {
+		out[i] = win[i].Time
+	}
+	return out
+}
+
+func TestCollectorAggregation(t *testing.T) {
+	var got []Snapshot
+	c := NewCollector(10, 0, SinkFunc(func(s Snapshot) error {
+		got = append(got, s)
+		return nil
+	}))
+
+	a := snap(1)
+	a.QPSIn, a.Dropped, a.QueueDepth, a.Departures = 100, 1, 5, 2
+	b := snap(4)
+	b.QPSIn, b.Dropped, b.QueueDepth, b.Departures = 200, 3, 9, 4
+	c.Offer(a)
+	c.Offer(b)
+	// Next bucket: flushes [0,10).
+	c.Offer(snap(11))
+	if len(got) != 1 {
+		t.Fatalf("emitted %d rows, want 1", len(got))
+	}
+	row := got[0]
+	if row.QPSIn != 150 { // aggMean
+		t.Errorf("mean qps_in = %v, want 150", row.QPSIn)
+	}
+	if row.Dropped != 4 { // aggSum
+		t.Errorf("sum dropped = %v, want 4", row.Dropped)
+	}
+	if row.QueueDepth != 9 { // aggMax
+		t.Errorf("max queue_depth = %v, want 9", row.QueueDepth)
+	}
+	if row.Departures != 4 || row.Time != 4 { // aggLast
+		t.Errorf("last departures/time = %v/%v, want 4/4", row.Departures, row.Time)
+	}
+
+	// Close flushes the open bucket.
+	if err := c.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[1].Time != 11 {
+		t.Fatalf("after close: %d rows, last time %v", len(got), got[len(got)-1].Time)
+	}
+}
+
+func TestCollectorSinkErrorSurfaces(t *testing.T) {
+	boom := errors.New("boom")
+	c := NewCollector(0, 0, SinkFunc(func(Snapshot) error { return boom }))
+	if err := c.Append(snap(1)); !errors.Is(err, boom) {
+		t.Fatalf("Append error = %v, want boom", err)
+	}
+	if err := c.Close(); !errors.Is(err, boom) {
+		t.Fatalf("Close error = %v, want boom", err)
+	}
+}
+
+func TestAssessLevels(t *testing.T) {
+	mk := func(n int, mut func(i int, s *Snapshot)) []Snapshot {
+		win := make([]Snapshot, n)
+		for i := range win {
+			win[i] = Snapshot{Time: float64(i + 1), QPSIn: 100, UtilMean: 0.5, ProvSat: 0.6}
+			mut(i, &win[i])
+		}
+		return win
+	}
+
+	if h := Assess(nil); h.Level != LevelOK {
+		t.Errorf("empty window level = %s, want ok", h.Level)
+	}
+	if h := Assess(mk(10, func(int, *Snapshot) {})); h.Level != LevelOK || len(h.Recommendations) != 0 {
+		t.Errorf("healthy window: %+v", h)
+	}
+
+	h := Assess(mk(10, func(i int, s *Snapshot) { s.UtilMean = 0.99 }))
+	if h.Level != LevelCrit {
+		t.Errorf("saturation level = %s, want crit (%v)", h.Level, h.Recommendations)
+	}
+
+	h = Assess(mk(10, func(i int, s *Snapshot) { s.Rejected = 50 }))
+	if h.Level != LevelCrit || h.RejectRate < RejectRateWarn {
+		t.Errorf("reject storm: %+v", h)
+	}
+
+	h = Assess(mk(10, func(i int, s *Snapshot) { s.Dropped = 10 }))
+	if h.Level != LevelWarn || h.DropRate < DropRateWarn {
+		t.Errorf("drops: %+v", h)
+	}
+
+	h = Assess(mk(10, func(i int, s *Snapshot) { s.UtilGini = 0.6 }))
+	if h.Level != LevelWarn || h.Imbalance != 0.6 {
+		t.Errorf("imbalance: %+v", h)
+	}
+
+	h = Assess(mk(10, func(i int, s *Snapshot) { s.ProvSat = 0.9 - 0.05*float64(i) }))
+	if h.Level != LevelWarn || h.SatTrend >= 0 {
+		t.Errorf("falling satisfaction: %+v", h)
+	}
+
+	h = Assess(mk(10, func(i int, s *Snapshot) { s.UtilMean = 0.05 }))
+	if h.Level != LevelWarn {
+		t.Errorf("underutilization: %+v", h)
+	}
+}
+
+func TestSatTrendLinearSeries(t *testing.T) {
+	// A perfectly linear drop of 0.3 across the window must be recovered
+	// almost exactly by the least-squares fit.
+	win := make([]Snapshot, 11)
+	for i := range win {
+		win[i] = Snapshot{Time: float64(i), ProvSat: 0.9 - 0.03*float64(i)}
+	}
+	if got := satTrend(win); math.Abs(got-(-0.3)) > 1e-9 {
+		t.Fatalf("satTrend = %v, want -0.3", got)
+	}
+}
+
+func TestCreateCSVBadPath(t *testing.T) {
+	if _, err := CreateCSV(filepath.Join(t.TempDir(), "no", "such", "dir", "x.csv")); err == nil {
+		t.Fatal("want error for unwritable path")
+	}
+}
+
+func TestOpenTailMissingFile(t *testing.T) {
+	_, err := OpenTail(filepath.Join(t.TempDir(), "absent.csv"))
+	if err == nil {
+		t.Fatal("want error for a missing file")
+	}
+	if !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("error %v should unwrap to os.ErrNotExist (sqlb-top -follow waits on it)", err)
+	}
+}
