@@ -382,6 +382,41 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 	}
 }
 
+// benchSimulationShards runs the full paper-scale population (200/400 —
+// the Pq loops the shards split are 400 wide) at one shard count; the
+// sweep across counts is the speedup curve EXPERIMENTS.md §8 records.
+// Results are byte-identical at every count (TestShardedDeterminism), so
+// this measures pure wall-clock.
+func benchSimulationShards(b *testing.B, shards int) {
+	for i := 0; i < b.N; i++ {
+		opts := sim.Options{
+			Config:   model.DefaultConfig(),
+			Strategy: allocator.NewSQLB(),
+			Workload: workload.Constant(0.8),
+			Duration: 150,
+			Seed:     7,
+			Shards:   shards,
+		}
+		eng, err := sim.New(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		res := eng.Run()
+		if res.Err != nil {
+			b.Fatal(res.Err)
+		}
+		b.ReportMetric(float64(res.IssuedQueries), "queries/run")
+	}
+}
+
+func BenchmarkSimulationShards1(b *testing.B) { benchSimulationShards(b, 1) }
+
+func BenchmarkSimulationShards2(b *testing.B) { benchSimulationShards(b, 2) }
+
+func BenchmarkSimulationShards4(b *testing.B) { benchSimulationShards(b, 4) }
+
+func BenchmarkSimulationShards8(b *testing.B) { benchSimulationShards(b, 8) }
+
 // --- mediation service: batched vs per-query mediation ---
 
 // servePop builds the serving-path population: many providers, few classes

@@ -18,23 +18,30 @@
 // format). A scenario's load curve replaces -workload/-ramp; its churn
 // waves take providers down (and bring them back) as scheduled events.
 //
-// Observability: -timeline streams the first repetition's per-sample
-// timeline snapshots to a CSV file as the run produces them (watch it
-// live with sqlb-top -file run.csv -follow, or replay it afterwards);
-// -csv is a synonym kept from the pre-timeline exporter, now streaming
-// the same schema instead of buffering a chart in memory. Only the first
-// repetition is exported — the repetitions are statistically independent
-// runs and one coherent time series is what the dashboard and the replay
-// want. -top renders the dashboard in-process while the first repetition
-// runs. The timeline is a pure observer: results are byte-identical with
-// or without it.
+// Observability: -timeline streams each repetition's per-sample timeline
+// snapshots to a CSV file as the run produces them (watch one live with
+// sqlb-top -file run.csv -follow, or replay it afterwards); -csv is a
+// synonym kept from the pre-timeline exporter, now streaming the same
+// schema instead of buffering a chart in memory. With -repeats > 1 each
+// repetition writes its own file under the deterministic
+// timeline.RepetitionPath scheme — "out.csv" becomes "out.rep0.csv",
+// "out.rep1.csv", … (zero-padded so listings sort in repetition order);
+// a single run keeps the exact name given. -top renders the dashboard
+// in-process while the first repetition runs. The timeline is a pure
+// observer: results are byte-identical with or without it.
+//
+// -shards fans each simulation's population-dimension work out to that
+// many shard workers behind the engine's virtual-clock barrier; results
+// are byte-identical at every value (0 consults SQLB_SHARDS, then runs
+// serially). Orthogonal to -workers, which parallelizes across
+// repetitions.
 //
 // Usage:
 //
 //	sqlb-sim [-method sqlb|capacity|mariposa|random|knbest|sqlb-econ]
 //	         [-workload f] [-ramp] [-scenario name|file]
 //	         [-duration s] [-scale f] [-seed n]
-//	         [-repeats n] [-workers n]
+//	         [-repeats n] [-workers n] [-shards n]
 //	         [-classes k] [-selectivity s] [-class-skew z]
 //	         [-autonomy off|dissat-starve|full]
 //	         [-timeline file] [-csv file] [-top]
@@ -67,6 +74,7 @@ func main() {
 		seed     = flag.Uint64("seed", 42, "run seed (repetition r uses seed+r)")
 		repeats  = flag.Int("repeats", 1, "repetitions to run and average (paper: 10)")
 		workers  = flag.Int("workers", 0, "concurrent repetitions (0 = GOMAXPROCS)")
+		shards   = flag.Int("shards", 0, "shard workers per simulation; any value is byte-identical (0 = SQLB_SHARDS env, then serial)")
 		autonomy = flag.String("autonomy", "off", "departures: off, dissat-starve, full")
 		tlPath   = flag.String("timeline", "", "stream the first repetition's timeline snapshots to this CSV file (watch with sqlb-top)")
 		csvPath  = flag.String("csv", "", "synonym for -timeline (streams the timeline schema; first repetition only)")
@@ -106,9 +114,13 @@ func main() {
 		fatal("unknown -autonomy %q", *autonomy)
 	}
 
-	// Timeline plumbing for the first repetition: the CSV sinks stream
-	// rows as the run produces them (constant memory at any duration), and
-	// -top renders the dashboard from the collector's rolling window.
+	// Timeline plumbing: every repetition streams to its own CSV file(s),
+	// named by the deterministic timeline.RepetitionPath scheme ("out.csv"
+	// → "out.rep0.csv", …; a single run keeps the plain path). Each
+	// repetition wraps its sinks in a collector — the CSV rows stream as
+	// the run produces them (constant memory at any duration) — and -top
+	// additionally renders the dashboard from the first repetition's
+	// rolling window.
 	var tlFiles []string
 	if *tlPath != "" {
 		tlFiles = append(tlFiles, *tlPath)
@@ -116,25 +128,27 @@ func main() {
 	if *csvPath != "" && *csvPath != *tlPath {
 		tlFiles = append(tlFiles, *csvPath)
 	}
-	var tlSinks []timeline.Sink
-	for _, p := range tlFiles {
-		cs, err := timeline.CreateCSV(p)
-		if err != nil {
-			fatal("%v", err)
+	// repSink builds repetition r's timeline sink (nil when no export is
+	// active for it) and the collector that must be closed after its run.
+	repSink := func(r int) (timeline.Sink, *timeline.Collector, error) {
+		var sinks []timeline.Sink
+		for _, p := range tlFiles {
+			cs, err := timeline.CreateCSV(timeline.RepetitionPath(p, r, *repeats))
+			if err != nil {
+				return nil, nil, err
+			}
+			// Per-row flushing lets sqlb-top -follow watch the run live.
+			cs.FlushEveryRow = true
+			sinks = append(sinks, cs)
 		}
-		// Per-row flushing lets sqlb-top -follow watch the run live.
-		cs.FlushEveryRow = true
-		tlSinks = append(tlSinks, cs)
-	}
-	var col *timeline.Collector
-	var firstSink timeline.Sink
-	if len(tlSinks) > 0 || *top {
-		col = timeline.NewCollector(0, 0, tlSinks...)
-		firstSink = col
-		if *top {
+		if len(sinks) == 0 && !(*top && r == 0) {
+			return nil, nil, nil
+		}
+		col := timeline.NewCollector(0, 0, sinks...)
+		if *top && r == 0 {
 			dash := &timeline.Dashboard{Color: true}
 			fmt.Print(timeline.HideCursor)
-			firstSink = timeline.SinkFunc(func(s timeline.Snapshot) error {
+			return timeline.SinkFunc(func(s timeline.Snapshot) error {
 				err := col.Append(s)
 				win := col.Window()
 				fmt.Print(timeline.HomeAndClear + dash.Frame(win, timeline.Assess(win)))
@@ -143,8 +157,9 @@ func main() {
 				// the simulated clock, so results are unaffected.
 				time.Sleep(40 * time.Millisecond)
 				return err
-			})
+			}), col, nil
 		}
+		return col, col, nil
 	}
 
 	// Fan the repetitions out over the worker budget. Each repetition gets
@@ -152,7 +167,6 @@ func main() {
 	// the runs happen serially or concurrently.
 	results := make([]*sim.Result, *repeats)
 	errs := make([]error, *repeats)
-	var tlErr error
 	sem := make(chan struct{}, *workers)
 	var wg sync.WaitGroup
 	for r := 0; r < *repeats; r++ {
@@ -163,6 +177,11 @@ func main() {
 			defer func() { <-sem }()
 			repSeed := *seed + uint64(r)
 			strategy, err := strategyFor(*method, repSeed)
+			if err != nil {
+				errs[r] = err
+				return
+			}
+			sink, col, err := repSink(r)
 			if err != nil {
 				errs[r] = err
 				return
@@ -179,9 +198,8 @@ func main() {
 				Seed:           repSeed,
 				SampleInterval: *duration / 50,
 				Autonomy:       auto,
-			}
-			if r == 0 {
-				opts.Timeline = firstSink
+				Shards:         *shards,
+				Timeline:       sink,
 			}
 			eng, err := sim.New(opts)
 			if err != nil {
@@ -189,22 +207,20 @@ func main() {
 				return
 			}
 			results[r] = eng.Run()
-			if r == 0 {
-				tlErr = eng.TimelineErr()
+			if col != nil {
+				tlErr := eng.TimelineErr()
+				if err := col.Close(); err != nil && tlErr == nil {
+					tlErr = err
+				}
+				if tlErr != nil {
+					errs[r] = fmt.Errorf("timeline: %w", tlErr)
+				}
 			}
 		}()
 	}
 	wg.Wait()
-	if col != nil {
-		if *top {
-			fmt.Print(timeline.ShowCursor)
-		}
-		if err := col.Close(); err != nil && tlErr == nil {
-			tlErr = err
-		}
-		if tlErr != nil {
-			fatal("timeline: %v", tlErr)
-		}
+	if *top {
+		fmt.Print(timeline.ShowCursor)
 	}
 	for _, err := range errs {
 		if err != nil {
@@ -286,7 +302,9 @@ func main() {
 	}
 
 	for _, p := range tlFiles {
-		fmt.Printf("wrote %s\n", p)
+		for r := 0; r < *repeats; r++ {
+			fmt.Printf("wrote %s\n", timeline.RepetitionPath(p, r, *repeats))
+		}
 	}
 }
 

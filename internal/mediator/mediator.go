@@ -119,6 +119,28 @@ type Mediator struct {
 	Strategy allocator.Allocator
 	// Match is the matchmaking procedure; nil means AllProviders.
 	Match Matchmaker
+	// Exec, when non-nil, runs the mediator's O(|Pq|) index-range loops —
+	// intention gathering, satisfaction extraction, and the result
+	// notification — through an external executor (the sharded engine's
+	// worker pool). The contract mirrors the engine's phase barrier: Exec
+	// must cover [0, n) with disjoint [lo, hi) calls and return only after
+	// all of them completed; the loop bodies are pure per-index maps (slot
+	// writes into vectors indexed like Pq, or writes to provider i alone),
+	// so any partition — including the nil serial one — produces identical
+	// bytes. Nil keeps the historical single-threaded loops.
+	Exec func(n int, fn func(lo, hi int))
+}
+
+// forRange runs fn over [0, n): through Exec when configured, serially
+// otherwise.
+func (m *Mediator) forRange(n int, fn func(lo, hi int)) {
+	if m.Exec != nil {
+		m.Exec(n, fn)
+		return
+	}
+	if n > 0 {
+		fn(0, n)
+	}
 }
 
 // New returns a mediator using the given strategy and the all-providers
@@ -142,7 +164,9 @@ func (m *Mediator) Allocate(now float64, q *model.Query, pop *model.Population) 
 	if len(pq) == 0 {
 		return nil, fmt.Errorf("%w (query %d)", ErrNoProviders, q.ID)
 	}
-	ci, pi := Intentions(now, q, pq)
+	ci := make([]float64, len(pq))
+	pi := make([]float64, len(pq))
+	m.forRange(len(pq), func(lo, hi int) { intentionsRange(now, q, pq, ci, pi, lo, hi) })
 	return m.AllocateCollected(now, q, pq, ci, pi)
 }
 
@@ -162,9 +186,11 @@ func (m *Mediator) AllocateCollected(now float64, q *model.Query, pq []*model.Pr
 		return nil, fmt.Errorf("mediator: intention vectors sized %d/%d for %d providers", len(ci), len(pi), len(pq))
 	}
 	provSat := make([]float64, len(pq))
-	for i, p := range pq {
-		provSat[i] = p.Public.Satisfaction()
-	}
+	m.forRange(len(pq), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			provSat[i] = pq[i].Public.Satisfaction()
+		}
+	})
 	req := &allocator.Request{
 		Query:       q,
 		Pq:          pq,
@@ -176,7 +202,7 @@ func (m *Mediator) AllocateCollected(now float64, q *model.Query, pq []*model.Pr
 	}
 	selected := m.Strategy.Allocate(req)
 
-	record(q, pq, ci, pi, selected)
+	m.record(q, pq, ci, pi, selected)
 	return &Allocation{Query: q, Pq: pq, CI: ci, PI: pi, Selected: selected}, nil
 }
 
@@ -195,27 +221,42 @@ func (m *Mediator) AllocateCollected(now float64, q *model.Query, pq []*model.Pr
 func Intentions(now float64, q *model.Query, pq []*model.Provider) (ci, pi []float64) {
 	ci = make([]float64, len(pq))
 	pi = make([]float64, len(pq))
+	intentionsRange(now, q, pq, ci, pi, 0, len(pq))
+	return ci, pi
+}
+
+// intentionsRange fills the [lo, hi) slots of the intention vectors — the
+// per-index map the sharded engine's phase executor partitions. Slot i is
+// a pure function of (q, pq[i], now): no accumulator crosses indexes, so
+// any partition of [0, len(pq)) produces identical vectors.
+func intentionsRange(now float64, q *model.Query, pq []*model.Provider, ci, pi []float64, lo, hi int) {
 	c := q.Consumer
-	for i, p := range pq {
+	for i := lo; i < hi; i++ {
+		p := pq[i]
 		ci[i] = intention.Consumer(c.Preference(p, q.Class), p.Reputation, c.Upsilon, c.Epsilon)
 		pi[i] = intention.Provider(p.Preference(q.Class), p.OperationalLoad(now), p.SmoothSat, p.Epsilon)
 	}
-	return ci, pi
 }
 
 // record performs the mediation-result notification: the consumer logs the
 // allocation against its shown intentions (Equations 1-2) and every
 // provider in Pq — selected or not — logs the proposal in both its public
-// (intention-fed) and private (preference-fed) windows.
-func record(q *model.Query, pq []*model.Provider, ci, pi []float64, selected []int) {
+// (intention-fed) and private (preference-fed) windows. The consumer write
+// stays on the caller; the provider loop shards cleanly (provider i's
+// windows are touched by iteration i alone, and the selected-set map is
+// read-only once built), so it runs through Exec when configured.
+func (m *Mediator) record(q *model.Query, pq []*model.Provider, ci, pi []float64, selected []int) {
 	q.Consumer.Tracker.RecordAllocation(ci, selected, q.N)
 	isSelected := make(map[int]bool, len(selected))
 	for _, idx := range selected {
 		isSelected[idx] = true
 	}
-	for i, p := range pq {
-		performed := isSelected[i]
-		p.Public.Record(pi[i], performed)
-		p.Private.Record(p.Preference(q.Class), performed)
-	}
+	m.forRange(len(pq), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := pq[i]
+			performed := isSelected[i]
+			p.Public.Record(pi[i], performed)
+			p.Private.Record(p.Preference(q.Class), performed)
+		}
+	})
 }

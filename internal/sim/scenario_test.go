@@ -33,16 +33,20 @@ func scenarioOptions(name string, strategy allocator.Allocator, dur float64) Opt
 // and for consumers (who never rejoin) alive == initial − departures.
 // Cumulative counters on the samples make this exact even when a wave and
 // a sample share a timestamp. Checked across every churn preset, with and
-// without autonomy departures mixed in.
+// without autonomy departures mixed in, on the serial and a sharded
+// engine (the remaining shard counts are swept by
+// TestShardedConservationInvariant).
 func TestScenarioPopulationConservation(t *testing.T) {
 	for _, name := range scenario.Names() {
 		for _, auto := range []struct {
-			label string
-			a     Autonomy
-		}{{"captive", Autonomy{}}, {"full-autonomy", FullAutonomy()}} {
+			label  string
+			a      Autonomy
+			shards int
+		}{{"captive", Autonomy{}, 1}, {"full-autonomy", FullAutonomy(), 4}} {
 			t.Run(name+"/"+auto.label, func(t *testing.T) {
 				opts := scenarioOptions(name, allocator.NewSQLB(), 1000)
 				opts.Autonomy = auto.a
+				opts.Shards = auto.shards
 				eng, err := New(opts)
 				if err != nil {
 					t.Fatalf("New: %v", err)

@@ -1,0 +1,85 @@
+package sim
+
+import "sync"
+
+// shardPool fans the engine's population-dimension work out to K shard
+// workers. The discrete-event loop stays the single virtual clock: events
+// pop strictly in (time, seq) order, and each event acts as the barrier —
+// a parallel phase forks its index range across the shards and joins
+// before the engine touches the next piece of state. What runs inside a
+// phase is restricted by contract to a pure per-index map: shard i reads
+// shared state that no shard writes during the phase and writes only
+// slots (or participants) in its own [lo, hi) range. Every fold over the
+// produced slots, every RNG draw, and every cross-participant mutation
+// stays on the event loop, in index order. That contract — parallel
+// index-addressed maps, serial index-ordered folds — is what makes a run
+// byte-identical at any shard count, including shards=1: there is nothing
+// the partition shape can influence. It is the same seeding/merging
+// contract the parallel experiment Lab pins with
+// TestParallelLabDeterminism, applied inside a single simulation.
+//
+// Workers are persistent goroutines (spawned once per run, not per
+// phase), so a phase costs one channel send and one WaitGroup wake per
+// shard — cheap enough to fork the O(|Pq|) mediation loops every arrival.
+type shardPool struct {
+	shards int
+	jobs   []chan shardJob
+}
+
+// shardJob is one shard's slice of a phase.
+type shardJob struct {
+	lo, hi int
+	fn     func(lo, hi int)
+	done   *sync.WaitGroup
+}
+
+// newShardPool starts shards−1 workers (the event loop itself executes
+// the last range, so shards=K uses exactly K goroutines during a phase).
+func newShardPool(shards int) *shardPool {
+	p := &shardPool{shards: shards, jobs: make([]chan shardJob, shards-1)}
+	for i := range p.jobs {
+		ch := make(chan shardJob)
+		p.jobs[i] = ch
+		go func() {
+			for j := range ch {
+				j.fn(j.lo, j.hi)
+				j.done.Done()
+			}
+		}()
+	}
+	return p
+}
+
+// run executes fn over a contiguous partition of [0, n) and returns when
+// every shard has finished — the phase barrier. A nil pool (shards=1)
+// degenerates to the plain serial loop. Degenerate shards are fine: with
+// n < shards some workers simply receive no range this phase (an empty
+// shard), and n == 0 is a no-op.
+func (p *shardPool) run(n int, fn func(lo, hi int)) {
+	if p == nil || n <= 0 {
+		if n > 0 {
+			fn(0, n)
+		}
+		return
+	}
+	chunk := (n + p.shards - 1) / p.shards
+	var wg sync.WaitGroup
+	lo := 0
+	for i := 0; i < len(p.jobs) && lo+chunk < n; i++ {
+		wg.Add(1)
+		p.jobs[i] <- shardJob{lo: lo, hi: lo + chunk, fn: fn, done: &wg}
+		lo += chunk
+	}
+	fn(lo, n)
+	wg.Wait()
+}
+
+// close stops the workers. The pool must be quiescent (no phase running).
+func (p *shardPool) close() {
+	if p == nil {
+		return
+	}
+	for _, ch := range p.jobs {
+		close(ch)
+	}
+}

@@ -1,0 +1,353 @@
+package sim
+
+import (
+	"bytes"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"sqlb/internal/allocator"
+	"sqlb/internal/scenario"
+	"sqlb/internal/timeline"
+)
+
+// shardCounts is the grid the determinism harness pins: the serial engine
+// and three pool sizes, including one past the class count (degenerate
+// shards) and, on most boxes, past NumCPU.
+var shardCounts = []int{2, 4, 8}
+
+// runSharded executes one run at the given shard count with a timeline CSV
+// sink attached, returning the serialized Result and the raw CSV bytes —
+// the two artifacts the byte-identity contract covers.
+func runSharded(t *testing.T, shards int, mutate func(*Options)) (string, []byte) {
+	t.Helper()
+	opts := smallOptions(allocator.NewSQLB(), 0.8, 500)
+	if mutate != nil {
+		mutate(&opts)
+	}
+	opts.Shards = shards
+	var buf bytes.Buffer
+	opts.Timeline = timeline.NewCSVSink(&buf)
+	eng, err := New(opts)
+	if err != nil {
+		t.Fatalf("New(shards=%d): %v", shards, err)
+	}
+	res := eng.Run()
+	if err := eng.TimelineErr(); err != nil {
+		t.Fatalf("shards=%d timeline: %v", shards, err)
+	}
+	if res.Err != nil {
+		t.Fatalf("shards=%d Result.Err: %v", shards, res.Err)
+	}
+	return serializeResult(res), buf.Bytes()
+}
+
+// TestShardedDeterminism is the pin of the sharded engine's contract: the
+// full Result — every sampled metric, the churn ledgers, the response-time
+// quantiles — and the streamed timeline CSV are byte-identical for shards
+// ∈ {1, 2, 4, 8} across the homogeneous paper setup, a heterogeneous
+// capability workload, and every scenario preset. The table mirrors
+// TestParallelLabDeterminism / TestScenarioDeterminism one level down: not
+// "runs with the same seed agree" but "the shard count is invisible".
+func TestShardedDeterminism(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"homogeneous", nil},
+		{"heterogeneous", func(o *Options) {
+			o.Config = o.Config.WithClasses(6)
+			o.Config.CapabilitySelectivity = 0.34
+			o.Config.ClassSkew = 1
+			o.Autonomy = FullAutonomy()
+		}},
+	}
+	for _, name := range scenario.Names() {
+		preset, ok := scenario.Preset(name)
+		if !ok {
+			t.Fatalf("preset %q vanished", name)
+		}
+		cases = append(cases, struct {
+			name   string
+			mutate func(*Options)
+		}{"scenario-" + name, func(o *Options) {
+			o.Scenario = preset
+			o.SampleInterval = o.Duration / 40
+			o.Autonomy = FullAutonomy()
+		}})
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			baseRes, baseCSV := runSharded(t, 1, tc.mutate)
+			for _, shards := range shardCounts {
+				gotRes, gotCSV := runSharded(t, shards, tc.mutate)
+				if gotRes != baseRes {
+					t.Fatalf("shards=%d Result differs from shards=1:\n%s\nvs\n%s",
+						shards, gotRes, baseRes)
+				}
+				if !bytes.Equal(gotCSV, baseCSV) {
+					t.Fatalf("shards=%d timeline CSV differs from shards=1 (%d vs %d bytes)",
+						shards, len(gotCSV), len(baseCSV))
+				}
+			}
+		})
+	}
+}
+
+// TestShardedBarrierEdgeCases aims the byte-identity pin at the places a
+// barrier implementation can silently drop or double-count: events landing
+// exactly on an epoch edge (a churn wave sharing its timestamp with a
+// sample, and a wave at exactly t = Duration), every shard going empty
+// mid-run (a 100% outage), and more shards than query classes or even
+// participants (degenerate shards).
+func TestShardedBarrierEdgeCases(t *testing.T) {
+	waveAt := func(times ...float64) *scenario.Scenario {
+		scn := &scenario.Scenario{Name: "edge"}
+		for i, tt := range times {
+			kind := scenario.WaveOutage
+			if i%2 == 1 {
+				kind = scenario.WaveRejoin
+			}
+			scn.Waves = append(scn.Waves, scenario.Wave{Time: tt, Kind: kind, Fraction: 0.25})
+		}
+		return scn
+	}
+	cases := []struct {
+		name   string
+		shards []int
+		mutate func(*Options)
+	}{
+		{"wave-on-sample-boundary", shardCounts, func(o *Options) {
+			// Samples land every 25 s; the outage at t=250 and the rejoin at
+			// t=375 both coincide with a sample instant, and the final wave
+			// fires at exactly t = Duration.
+			o.SampleInterval = 25
+			o.Scenario = waveAt(250, 375, 500)
+			o.Autonomy = FullAutonomy()
+		}},
+		{"all-shards-empty-mid-run", shardCounts, func(o *Options) {
+			// A 100% outage drains every posting list: all queries drop until
+			// the rejoin brings everyone back. Every shard's alive range is
+			// empty in between.
+			o.Scenario = &scenario.Scenario{Name: "blackout", Waves: []scenario.Wave{
+				{Time: 100, Kind: scenario.WaveOutage, Fraction: 1},
+				{Time: 300, Kind: scenario.WaveRejoin, Fraction: 1},
+			}}
+		}},
+		{"more-shards-than-participants", []int{8, 16}, func(o *Options) {
+			// 4 providers / 2 consumers with up to 16 shards: most shards
+			// receive no range at all in every phase.
+			o.Config = o.Config.Scale(0.01)
+		}},
+		{"more-shards-than-classes", []int{8}, func(o *Options) {
+			// The paper's two query classes under eight shards.
+			o.Autonomy = FullAutonomy()
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			baseRes, baseCSV := runSharded(t, 1, tc.mutate)
+			for _, shards := range tc.shards {
+				gotRes, gotCSV := runSharded(t, shards, tc.mutate)
+				if gotRes != baseRes {
+					t.Fatalf("shards=%d Result differs from shards=1:\n%s\nvs\n%s",
+						shards, gotRes, baseRes)
+				}
+				if !bytes.Equal(gotCSV, baseCSV) {
+					t.Fatalf("shards=%d timeline CSV differs from shards=1", shards)
+				}
+			}
+		})
+	}
+}
+
+// TestShardedQueryAccountingInvariant extends the in-flight ledger pin
+// (Issued = Completed + Dropped + InFlightAtEnd) to every shard count, on
+// a hot run and on the empty-selection regression shape, so the barrier
+// cannot leak or double-count a query at a phase edge.
+func TestShardedQueryAccountingInvariant(t *testing.T) {
+	for _, shards := range append([]int{1}, shardCounts...) {
+		for _, strat := range []struct {
+			name string
+			a    allocator.Allocator
+		}{{"sqlb", allocator.NewSQLB()}, {"empty-selection", emptyAllocator{}}} {
+			opts := smallOptions(strat.a, 0.9, 300)
+			opts.Shards = shards
+			opts.Scenario = &scenario.Scenario{Name: "churn", Waves: []scenario.Wave{
+				{Time: 100, Kind: scenario.WaveOutage, Fraction: 0.5},
+				{Time: 200, Kind: scenario.WaveRejoin, Fraction: 1},
+			}}
+			eng, err := New(opts)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			res := eng.Run()
+			got := res.CompletedQueries + res.DroppedQueries + uint64(res.InFlightAtEnd)
+			if got != res.IssuedQueries {
+				t.Fatalf("shards=%d %s: completed %d + dropped %d + inflight %d = %d, want issued %d",
+					shards, strat.name, res.CompletedQueries, res.DroppedQueries,
+					res.InFlightAtEnd, got, res.IssuedQueries)
+			}
+		}
+	}
+}
+
+// TestShardedConservationInvariant runs the population-conservation
+// invariant (alive = initial − departures + rejoins at every sample) at
+// every shard count over the two churn-heaviest presets; the broader
+// preset × autonomy grid lives in TestScenarioPopulationConservation,
+// which covers the serial and a sharded engine.
+func TestShardedConservationInvariant(t *testing.T) {
+	for _, name := range []string{"outage-30pct", "staged-churn"} {
+		for _, shards := range append([]int{1}, shardCounts...) {
+			opts := scenarioOptions(name, allocator.NewSQLB(), 800)
+			opts.Shards = shards
+			opts.Autonomy = FullAutonomy()
+			eng, err := New(opts)
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			res := eng.Run()
+			for i, s := range append(append([]Sample{}, res.Samples...), res.Final) {
+				if got, want := s.AliveProviders, res.Providers-s.ProviderDepartureCount+s.ProviderJoinCount; got != want {
+					t.Fatalf("%s shards=%d sample %d (t=%v): alive providers %d != %d − %d + %d",
+						name, shards, i, s.Time, got, res.Providers,
+						s.ProviderDepartureCount, s.ProviderJoinCount)
+				}
+				if got, want := s.AliveConsumers, res.Consumers-s.ConsumerDepartureCount; got != want {
+					t.Fatalf("%s shards=%d sample %d (t=%v): alive consumers %d != %d − %d",
+						name, shards, i, s.Time, got, res.Consumers, s.ConsumerDepartureCount)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedStress drives the full concurrent surface in one run — a
+// sharded engine at shards ≥ NumCPU, scenario churn, full autonomy, and a
+// live timeline sink — in a loop, so `make race` sweeps the pool's
+// fork/join edges. The conservation check keeps it an invariant test, not
+// just a crash test.
+func TestShardedStress(t *testing.T) {
+	shards := runtime.NumCPU()
+	if shards < 4 {
+		shards = 4
+	}
+	for i := 0; i < 3; i++ {
+		opts := scenarioOptions("staged-churn", allocator.NewSQLB(), 400)
+		opts.Shards = shards
+		opts.Autonomy = FullAutonomy()
+		opts.Seed = 42 + uint64(i)
+		opts.Timeline = timeline.NewCSVSink(io.Discard)
+		eng, err := New(opts)
+		if err != nil {
+			t.Fatalf("New: %v", err)
+		}
+		res := eng.Run()
+		if res.Err != nil {
+			t.Fatalf("iteration %d: %v", i, res.Err)
+		}
+		if got, want := res.Final.AliveProviders, res.Providers-res.Final.ProviderDepartureCount+res.Final.ProviderJoinCount; got != want {
+			t.Fatalf("iteration %d: conservation broken: %d != %d", i, got, want)
+		}
+	}
+}
+
+// TestShardPoolCoversRange: the pool must call fn over an exact partition
+// of [0, n) — every index once, no overlaps, no gaps — and run serially
+// for a nil pool. This is the structural half of byte-identity.
+func TestShardPoolCoversRange(t *testing.T) {
+	for _, shards := range []int{2, 3, 4, 8, 16} {
+		pool := newShardPool(shards)
+		for _, n := range []int{0, 1, 2, 3, 7, 8, 9, 100, 401} {
+			hits := make([]int32, n)
+			var calls atomic.Int32
+			var mu sync.Mutex
+			ranges := [][2]int{}
+			pool.run(n, func(lo, hi int) {
+				calls.Add(1)
+				mu.Lock()
+				ranges = append(ranges, [2]int{lo, hi})
+				mu.Unlock()
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&hits[i], 1)
+				}
+			})
+			for i := range hits {
+				if hits[i] != 1 {
+					t.Fatalf("shards=%d n=%d: index %d visited %d times (ranges %v)",
+						shards, n, i, hits[i], ranges)
+				}
+			}
+			if n > 0 && int(calls.Load()) > shards {
+				t.Fatalf("shards=%d n=%d: %d range calls, want <= %d", shards, n, calls.Load(), shards)
+			}
+		}
+		pool.close()
+	}
+	// Nil pool: the serial degenerate case used by shards=1.
+	var nilPool *shardPool
+	ran := false
+	nilPool.run(5, func(lo, hi int) {
+		if lo != 0 || hi != 5 {
+			t.Fatalf("nil pool range [%d,%d), want [0,5)", lo, hi)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("nil pool did not run fn")
+	}
+	nilPool.run(0, func(lo, hi int) { t.Fatal("fn called for n=0") })
+	nilPool.close()
+}
+
+// TestEffectiveShards pins the Shards resolution order: explicit positive
+// values win, then the SQLB_SHARDS environment hook (ignored unless a
+// positive integer), then the serial default.
+func TestEffectiveShards(t *testing.T) {
+	// Neutralize any ambient override (the CI matrix exports SQLB_SHARDS=4
+	// for the whole suite); effectiveShards treats empty as unset.
+	t.Setenv("SQLB_SHARDS", "")
+	o := &Options{}
+	if got := o.effectiveShards(); got != 1 {
+		t.Fatalf("default shards = %d, want 1", got)
+	}
+	t.Setenv("SQLB_SHARDS", "4")
+	if got := o.effectiveShards(); got != 4 {
+		t.Fatalf("SQLB_SHARDS=4 shards = %d, want 4", got)
+	}
+	o.Shards = 2
+	if got := o.effectiveShards(); got != 2 {
+		t.Fatalf("explicit shards = %d, want 2 (explicit wins over env)", got)
+	}
+	o.Shards = 0
+	for _, bad := range []string{"0", "-3", "many"} {
+		t.Setenv("SQLB_SHARDS", bad)
+		if got := o.effectiveShards(); got != 1 {
+			t.Fatalf("SQLB_SHARDS=%q shards = %d, want the serial fallback", bad, got)
+		}
+	}
+
+	// The resolved count is visible on the engine, and the env default
+	// produces the same bytes as the serial engine (spot check).
+	t.Setenv("SQLB_SHARDS", "3")
+	opts := smallOptions(allocator.NewSQLB(), 0.6, 120)
+	eng, err := New(opts)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if eng.Shards() != 3 {
+		t.Fatalf("engine shards = %d, want 3 from env", eng.Shards())
+	}
+	envRes := serializeResult(eng.Run())
+	t.Setenv("SQLB_SHARDS", "")
+	serial, err := New(smallOptions(allocator.NewSQLB(), 0.6, 120))
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if got := serializeResult(serial.Run()); got != envRes {
+		t.Fatal("SQLB_SHARDS=3 run differs from the serial engine")
+	}
+}

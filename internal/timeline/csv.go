@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
 )
@@ -50,6 +51,24 @@ func CreateCSV(path string) (*CSVSink, error) {
 		return nil, fmt.Errorf("timeline: %w", err)
 	}
 	return NewCSVSink(f), nil
+}
+
+// RepetitionPath derives the timeline file for repetition rep of a
+// repeats-run batch from the user-supplied path: "out.csv" becomes
+// "out.rep0.csv", "out.rep1.csv", … with the repetition number
+// zero-padded to a fixed width so a directory listing sorts the files in
+// repetition order at any repeats count. With repeats <= 1 the path is
+// returned unchanged — a single run keeps the exact name the user asked
+// for. The scheme is deterministic (a pure function of path, rep,
+// repeats), which is what lets tests and tooling predict every file a
+// batch will produce.
+func RepetitionPath(path string, rep, repeats int) string {
+	if repeats <= 1 {
+		return path
+	}
+	width := len(strconv.Itoa(repeats - 1))
+	ext := filepath.Ext(path)
+	return fmt.Sprintf("%s.rep%0*d%s", strings.TrimSuffix(path, ext), width, rep, ext)
 }
 
 // Append writes one row (and the header before the first row).

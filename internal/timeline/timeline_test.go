@@ -343,3 +343,32 @@ func TestOpenTailMissingFile(t *testing.T) {
 		t.Fatalf("error %v should unwrap to os.ErrNotExist (sqlb-top -follow waits on it)", err)
 	}
 }
+
+// TestRepetitionPath pins the per-repetition naming scheme: single runs
+// keep the user's path untouched, batches insert a zero-padded ".repNN"
+// before the extension so listings sort in repetition order, and
+// extension-less paths still work.
+func TestRepetitionPath(t *testing.T) {
+	cases := []struct {
+		path         string
+		rep, repeats int
+		want         string
+	}{
+		{"out.csv", 0, 1, "out.csv"},
+		{"out.csv", 0, 0, "out.csv"},
+		{"out.csv", 0, 2, "out.rep0.csv"},
+		{"out.csv", 1, 2, "out.rep1.csv"},
+		{"out.csv", 3, 10, "out.rep3.csv"},
+		{"out.csv", 9, 11, "out.rep09.csv"},
+		{"out.csv", 10, 11, "out.rep10.csv"},
+		{"out.csv", 7, 100, "out.rep07.csv"},
+		{"runs/tl", 2, 4, "runs/tl.rep2"},
+		{"a.b/tl.csv.gz", 1, 3, "a.b/tl.csv.rep1.gz"},
+	}
+	for _, tc := range cases {
+		if got := RepetitionPath(tc.path, tc.rep, tc.repeats); got != tc.want {
+			t.Errorf("RepetitionPath(%q, %d, %d) = %q, want %q",
+				tc.path, tc.rep, tc.repeats, got, tc.want)
+		}
+	}
+}
