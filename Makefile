@@ -4,10 +4,16 @@ GO ?= go
 
 # BENCH selects the regression benchmark set: the Rank/Select and
 # matchmaking hot-path micro-benchmarks, the serial-vs-parallel Lab runs,
-# the batched-vs-per-query mediation service path, and the streaming
-# timeline CSV writer (rows/sec, 0 allocs/row). Override with
-# `make bench BENCH=.` for the full suite.
-BENCH ?= BenchmarkRank|BenchmarkSelectTopN|BenchmarkLab|BenchmarkMediatorAllocate|BenchmarkMatchmaking|BenchmarkServerMediate|BenchmarkTimelineCSV|BenchmarkSimulationShards
+# the batched-vs-per-query mediation service path, the streaming
+# timeline CSV writer (rows/sec, 0 allocs/row), and the population-scale
+# pair (mediation over a 100k-provider Pq, bytes/participant at build).
+# Override with `make bench BENCH=.` for the full suite.
+BENCH ?= BenchmarkRank|BenchmarkSelectTopN|BenchmarkLab|BenchmarkMediatorAllocate|BenchmarkMatchmaking|BenchmarkServerMediate|BenchmarkTimelineCSV|BenchmarkSimulationShards|BenchmarkMediate100k|BenchmarkPopulationBuild100k
+
+# BENCH_COUNT repeats each benchmark -count times. The default single run
+# is fine for the trajectory record; use `make bench BENCH_COUNT=10` when a
+# delta looks noisy and you want spread before believing it.
+BENCH_COUNT ?= 1
 
 # SERVE_JSON is where serve-bench drops the sqlb-serve steady-state report;
 # bench embeds it into BENCH_results.json when present.
@@ -64,7 +70,7 @@ fmt-check:
 # PRs have a perf trajectory to compare against. If serve-bench has left a
 # steady-state serving report behind, it rides along under the "serving" key.
 bench:
-	$(GO) test -run '^$$' -bench '$(BENCH)' -benchmem . | $(GO) run ./tools/benchjson -out BENCH_results.json -serving $(SERVE_JSON)
+	$(GO) test -run '^$$' -bench '$(BENCH)' -count $(BENCH_COUNT) -benchmem . | $(GO) run ./tools/benchjson -out BENCH_results.json -serving $(SERVE_JSON)
 
 # serve-bench measures the mediator-as-a-service throughput path at
 # |P| = 10000: sqlb-serve drives an open-loop schedule against the live

@@ -1,0 +1,134 @@
+// Allocation-budget regression tests: the steady-state heap cost of every
+// hot path is pinned with testing.AllocsPerRun so an accidental per-call
+// allocation (a closure that escapes, a map rebuilt per mediation, a slice
+// forgotten off the scratch) fails tier-1 instead of silently eroding the
+// zero-allocation mediation contract. Budgets are exact where the contract
+// is exact (zero) and small where a path legitimately returns fresh result
+// containers (MediateBatch's two slices per batch).
+package sqlb_test
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"sqlb"
+	"sqlb/internal/model"
+	"sqlb/internal/timeline"
+)
+
+// TestAllocBudgetMediatorAllocate pins the simulator's mediation fast path
+// at zero steady-state allocations: matchmaking, intention gathering,
+// scoring/ranking/selection, and result notification all run out of the
+// mediator's scratch once its buffers are warm.
+func TestAllocBudgetMediatorAllocate(t *testing.T) {
+	cfg := model.DefaultConfig() // full 400-provider Pq
+	pop := sqlb.NewPopulation(cfg, 9)
+	med := sqlb.NewMediator(sqlb.NewSQLB())
+	q := &model.Query{ID: 1, Consumer: pop.Consumers[0], Class: 0, Units: 130, N: 1}
+	now := 0.0
+	mediate := func() {
+		now += 0.01
+		if _, err := med.Allocate(now, q, pop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		mediate() // warm the scratch to the population's high-water mark
+	}
+	if allocs := testing.AllocsPerRun(100, mediate); allocs != 0 {
+		t.Errorf("Mediator.Allocate: %v allocs/op in steady state, want 0", allocs)
+	}
+}
+
+// TestAllocBudgetMatchmakingLookup pins the indexed posting-list lookup at
+// zero allocations per query.
+func TestAllocBudgetMatchmakingLookup(t *testing.T) {
+	cfg := sqlb.DefaultConfig().WithClasses(10)
+	cfg.Consumers = 2
+	cfg.Providers = 1000
+	cfg.CapabilitySelectivity = 0.1
+	pop := sqlb.NewPopulation(cfg, 7)
+	ix := sqlb.BuildMatchIndex(pop)
+	q := &model.Query{ID: 1, Consumer: pop.Consumers[0], Units: 130, N: 1}
+	i := 0
+	lookup := func() {
+		q.Class = i % 10
+		i++
+		if len(ix.Match(q, pop)) == 0 {
+			t.Fatal("empty posting list")
+		}
+	}
+	lookup()
+	if allocs := testing.AllocsPerRun(100, lookup); allocs != 0 {
+		t.Errorf("Index.Match: %v allocs/op, want 0", allocs)
+	}
+}
+
+// TestAllocBudgetServerMediateBatch pins the batched serving path: once the
+// server's batch scratch is warm, a whole batch allocates exactly its two
+// result containers (the BatchResult slice and the Allocation slab),
+// independent of batch size and |Pq|.
+func TestAllocBudgetServerMediateBatch(t *testing.T) {
+	cfg := sqlb.DefaultConfig().WithClasses(10)
+	cfg.Consumers = 8
+	cfg.Providers = 1000
+	cfg.CapabilitySelectivity = 0.1
+	pop := sqlb.NewPopulation(cfg, 17)
+	srv := sqlb.NewMediationServer(sqlb.NewSQLB(), pop, 0, func() float64 { return 0 })
+	srv.SetMatchmaker(sqlb.BuildMatchIndex(pop))
+	qs := make([]*model.Query, 16)
+	for i := range qs {
+		qs[i] = &model.Query{
+			ID:       uint64(i + 1),
+			Consumer: pop.Consumers[i%len(pop.Consumers)],
+			Class:    i % 10,
+			Units:    130,
+			N:        2,
+		}
+	}
+	ctx := context.Background()
+	batch := func() {
+		for _, r := range srv.MediateBatch(ctx, qs) {
+			if r.Err != nil {
+				t.Fatal(r.Err)
+			}
+		}
+	}
+	for i := 0; i < 5; i++ {
+		batch() // warm per-class buffers, ci cache, and selection arena
+	}
+	if allocs := testing.AllocsPerRun(50, batch); allocs > 2 {
+		t.Errorf("MediateBatch: %v allocs per 16-query batch in steady state, want <= 2", allocs)
+	}
+}
+
+// TestAllocBudgetTimelineCSVRow pins the timeline CSV sink at zero
+// allocations per appended row — the contract the live tailing path
+// (sqlb-top) relies on.
+func TestAllocBudgetTimelineCSVRow(t *testing.T) {
+	sink := timeline.NewCSVSink(io.Discard)
+	snap := timeline.Snapshot{
+		Time: 1, Source: "sim", WorkloadFraction: 0.8,
+		QPSIn: 240.5, QPSOut: 231.25, Dropped: 3, QueueDepth: 17,
+		LatencyMean: 0.131, LatencyP50: 0.09, LatencyP95: 0.52, LatencyP99: 1.4,
+		ProvSat: 0.61, ConsSat: 0.58, AllocSat: 0.97, SatFairness: 0.91,
+		UtilMean: 0.74, UtilFairness: 0.88, UtilGini: 0.19,
+		UtilClassLow: 0.91, UtilClassMed: 0.74, UtilClassHigh: 0.6,
+		AliveProviders: 96, AliveConsumers: 50, Departures: 4, Joins: 1,
+	}
+	if err := sink.Append(snap); err != nil { // header + encode buffer warmup
+		t.Fatal(err)
+	}
+	i := 0.0
+	row := func() {
+		i++
+		snap.Time = i
+		if err := sink.Append(snap); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if allocs := testing.AllocsPerRun(100, row); allocs != 0 {
+		t.Errorf("CSVSink.Append: %v allocs/row, want 0", allocs)
+	}
+}

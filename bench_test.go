@@ -618,6 +618,64 @@ func BenchmarkExtensionSQLBEconomic(b *testing.B) {
 	b.ReportMetric(res.MeanResponseTime, "resp-s")
 }
 
+// --- population scale: 100k providers ---
+
+// scalePop builds a population-scale cohort: hashed consumer preferences
+// (no O(|C|·|P|) preference matrix) and an explicit provider window —
+// Config.Scale would grow ProviderK with |P|, which at 100k providers is
+// 1.6 GB of ring storage for dynamics the sweep does not measure.
+func scalePop(b *testing.B, providers, consumers int) *sqlb.Population {
+	b.Helper()
+	cfg := sqlb.DefaultConfig()
+	cfg.Providers = providers
+	cfg.Consumers = consumers
+	cfg.ProviderK = 100
+	cfg.ConsumerK = 50
+	cfg.PriorSamples = 20
+	cfg.HashedConsumerPrefs = true
+	return sqlb.NewPopulation(cfg, 23)
+}
+
+// BenchmarkMediate100k is the population-scale mediation number: one full
+// Algorithm 1 round over a 100k-provider Pq (homogeneous matchmaking, the
+// paper's setup at 250× its published scale). ns/op is the per-mediation
+// wall time on one core; mediations/sec/core is its inverse, reported
+// explicitly for EXPERIMENTS.md §9. The path allocates nothing in steady
+// state, so this measures pure compute over the dense population arrays.
+func BenchmarkMediate100k(b *testing.B) {
+	pop := scalePop(b, 100_000, 1000)
+	med := sqlb.NewMediator(sqlb.NewSQLB())
+	q := &model.Query{ID: 1, Consumer: pop.Consumers[0], Class: 0, Units: 130, N: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		q.Consumer = pop.Consumers[i%len(pop.Consumers)]
+		if _, err := med.Allocate(float64(i)*0.01, q, pop); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "mediations/s")
+}
+
+// BenchmarkPopulationBuild100k measures building the 100k-provider /
+// 1k-consumer population and reports its resident footprint per
+// participant (heap delta across the build, after GC settles).
+func BenchmarkPopulationBuild100k(b *testing.B) {
+	var pop *sqlb.Population
+	var m0, m1 runtime.MemStats
+	for i := 0; i < b.N; i++ {
+		pop = nil
+		runtime.GC()
+		runtime.ReadMemStats(&m0)
+		pop = scalePop(b, 100_000, 1000)
+		runtime.GC()
+		runtime.ReadMemStats(&m1)
+	}
+	participants := float64(len(pop.Providers) + len(pop.Consumers))
+	b.ReportMetric(float64(m1.HeapAlloc-m0.HeapAlloc)/participants, "bytes/participant")
+}
+
 // BenchmarkTimelineCSV measures the streaming timeline writer: rows/sec
 // through the CSV sink and — the contract the live tailing path relies
 // on — zero allocations per row once the encode buffer is warm.

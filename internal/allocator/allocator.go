@@ -9,6 +9,7 @@
 package allocator
 
 import (
+	"sqlb/internal/core"
 	"sqlb/internal/model"
 )
 
@@ -34,6 +35,15 @@ type Request struct {
 	ProviderSat []float64
 	// Now is the current simulation time (drives utilization reads).
 	Now float64
+	// Scratch, when non-nil, lends the strategy reusable buffers for its
+	// intermediate vectors so steady-state allocation is zero (the mediator
+	// wires its own scratch through every request). Strategies must treat
+	// it per the core.Scratch buffer contract; the selected set they return
+	// may be carved from it and is then valid only until the next
+	// allocation on the same mediator. A nil Scratch keeps the historical
+	// allocate-per-call behaviour — external callers building a Request by
+	// hand need not care.
+	Scratch *core.Scratch
 }
 
 // N returns min(q.n, |Pq|), the number of providers to select.

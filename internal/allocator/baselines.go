@@ -20,11 +20,11 @@ func (*CapacityBased) Name() string { return "Capacity based" }
 
 // Allocate implements Allocator.
 func (*CapacityBased) Allocate(req *Request) []int {
-	utils := make([]float64, len(req.Pq))
+	utils := req.Scratch.F1(len(req.Pq))
 	for i, p := range req.Pq {
 		utils[i] = p.Utilization(req.Now)
 	}
-	return core.SelectTopN(len(req.Pq), req.N(), func(a, b int) bool {
+	return core.SelectTopNScratch(req.Scratch, len(req.Pq), req.N(), func(a, b int) bool {
 		if utils[a] != utils[b] {
 			return utils[a] < utils[b]
 		}
@@ -84,7 +84,7 @@ func (m *MariposaLike) Allocate(req *Request) []int {
 	if horizon <= 0 {
 		horizon = 60
 	}
-	bids := make([]float64, len(req.Pq))
+	bids := req.Scratch.F1(len(req.Pq))
 	for i, p := range req.Pq {
 		pref := p.Preference(req.Query.Class)
 		load := p.Utilization(req.Now)
@@ -96,7 +96,7 @@ func (m *MariposaLike) Allocate(req *Request) []int {
 		}
 		bids[i] = m.Bid(pref) * load
 	}
-	return core.SelectTopN(len(req.Pq), req.N(), func(a, b int) bool {
+	return core.SelectTopNScratch(req.Scratch, len(req.Pq), req.N(), func(a, b int) bool {
 		if bids[a] != bids[b] {
 			return bids[a] < bids[b]
 		}

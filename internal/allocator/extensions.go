@@ -30,7 +30,7 @@ func (k *KnBest) Allocate(req *Request) []int {
 		factor = 3
 	}
 	n := req.N()
-	omegas := make([]float64, len(req.Pq))
+	omegas := req.Scratch.F1(len(req.Pq))
 	for i := range omegas {
 		sat := 0.0
 		if i < len(req.ProviderSat) {
@@ -41,18 +41,20 @@ func (k *KnBest) Allocate(req *Request) []int {
 	// Only the k·n score survivors are materialized; the load round then
 	// picks the n least loaded among them.
 	kn := n * factor
-	short := core.RankTop(kn, req.PI, req.CI, omegas, k.Epsilon)
-	loads := make([]float64, len(short))
+	short := core.RankTopScratch(req.Scratch, kn, req.PI, req.CI, omegas, k.Epsilon)
+	loads := req.Scratch.F3(len(short))
 	for i, r := range short {
 		loads[i] = req.Pq[r.Index].OperationalLoad(req.Now)
 	}
-	picked := core.SelectTopN(len(short), n, func(a, b int) bool {
+	// RankTopScratch is done with I1 by the time it returns, so the load
+	// round may reuse it; the final set goes to I2 like every strategy.
+	picked := core.SelectTopNScratch(req.Scratch, len(short), n, func(a, b int) bool {
 		if loads[a] != loads[b] {
 			return loads[a] < loads[b]
 		}
 		return short[a].Index < short[b].Index
 	})
-	out := make([]int, len(picked))
+	out := req.Scratch.I2(len(picked))
 	for i, p := range picked {
 		out[i] = short[p].Index
 	}
@@ -76,7 +78,7 @@ func (*SQLBEconomic) Name() string { return "SQLB-econ" }
 
 // Allocate implements Allocator.
 func (*SQLBEconomic) Allocate(req *Request) []int {
-	values := make([]float64, len(req.Pq))
+	values := req.Scratch.F1(len(req.Pq))
 	for i := range req.Pq {
 		sat := 0.0
 		if i < len(req.ProviderSat) {
@@ -92,7 +94,7 @@ func (*SQLBEconomic) Allocate(req *Request) []int {
 		}
 		values[i] = omega*pi + (1-omega)*ci
 	}
-	return core.SelectTopN(len(req.Pq), req.N(), func(a, b int) bool {
+	return core.SelectTopNScratch(req.Scratch, len(req.Pq), req.N(), func(a, b int) bool {
 		if values[a] != values[b] {
 			return values[a] > values[b]
 		}

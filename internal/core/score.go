@@ -73,6 +73,16 @@ func Rank(pi, ci, omegas []float64, epsilon float64) []Ranked {
 // ranking (identical to Rank). Ties break on the lower index exactly as in
 // Rank, so RankTop(n, …) is always a prefix of Rank(…).
 func RankTop(n int, pi, ci, omegas []float64, epsilon float64) []Ranked {
+	return RankTopScratch(nil, n, pi, ci, omegas, epsilon)
+}
+
+// RankTopScratch is RankTop with every intermediate — the score vector
+// (Scratch.F2), the top-n heap (Scratch.I1), and the returned ranking
+// (Scratch.R1) — carved from the scratch, making the whole
+// score/rank/select pipeline allocation-free once the buffers are warm.
+// The result is valid until the next call that uses R1; a nil scratch
+// restores the allocating behaviour of RankTop exactly.
+func RankTopScratch(s *Scratch, n int, pi, ci, omegas []float64, epsilon float64) []Ranked {
 	total := len(pi)
 	if len(ci) < total {
 		total = len(ci)
@@ -80,17 +90,17 @@ func RankTop(n int, pi, ci, omegas []float64, epsilon float64) []Ranked {
 	if len(omegas) < total {
 		total = len(omegas)
 	}
-	scores := make([]float64, total)
+	scores := s.F2(total)
 	for i := 0; i < total; i++ {
 		scores[i] = Score(pi[i], ci[i], omegas[i], epsilon)
 	}
-	idx := SelectTopN(total, n, func(a, b int) bool {
+	idx := SelectTopNScratch(s, total, n, func(a, b int) bool {
 		if scores[a] != scores[b] {
 			return scores[a] > scores[b]
 		}
 		return a < b
 	})
-	ranking := make([]Ranked, len(idx))
+	ranking := s.R1(len(idx))
 	for i, j := range idx {
 		ranking[i] = Ranked{Index: j, Score: scores[j]}
 	}
@@ -101,6 +111,13 @@ func RankTop(n int, pi, ci, omegas []float64, epsilon float64) []Ranked {
 // min(n, N) best-ranked providers get the query (All⃗oc[R⃗_q[i]] ← 1), the
 // rest do not. It returns the selected Pq indexes in rank order.
 func Select(n int, ranking []Ranked) []int {
+	return SelectScratch(nil, n, ranking)
+}
+
+// SelectScratch is Select with the selected set carved from the scratch's
+// second index buffer (Scratch.I2); valid until the next call that uses
+// I2. A nil scratch restores the allocating behaviour of Select exactly.
+func SelectScratch(s *Scratch, n int, ranking []Ranked) []int {
 	if n < 1 {
 		n = 1
 	}
@@ -108,7 +125,7 @@ func Select(n int, ranking []Ranked) []int {
 	if take > len(ranking) {
 		take = len(ranking)
 	}
-	selected := make([]int, take)
+	selected := s.I2(take)
 	for i := 0; i < take; i++ {
 		selected[i] = ranking[i].Index
 	}

@@ -1,7 +1,5 @@
 package core
 
-import "sort"
-
 // SelectTopN returns the indexes of the n best elements out of [0, total),
 // best first, where less reports whether element a ranks strictly better
 // than element b. less must be a strict total order — callers embed an
@@ -15,6 +13,14 @@ import "sort"
 // sort, which is also the reference behaviour the property tests compare
 // against.
 func SelectTopN(total, n int, less func(a, b int) bool) []int {
+	return SelectTopNScratch(nil, total, n, less)
+}
+
+// SelectTopNScratch is SelectTopN with the heap — and therefore the result
+// slice — carved from the scratch's first index buffer (Scratch.I1). The
+// result is valid until the next call that uses I1; a nil scratch restores
+// the allocating behaviour of SelectTopN exactly.
+func SelectTopNScratch(s *Scratch, total, n int, less func(a, b int) bool) []int {
 	if n < 0 {
 		n = 0
 	}
@@ -22,20 +28,20 @@ func SelectTopN(total, n int, less func(a, b int) bool) []int {
 		n = total
 	}
 	if n == 0 {
-		return []int{}
+		return s.I1(0)
 	}
 	if n == total {
-		idx := make([]int, total)
+		idx := s.I1(total)
 		for i := range idx {
 			idx[i] = i
 		}
-		sort.Slice(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+		sortIdx(idx, less)
 		return idx
 	}
 
 	// h is a max-heap under less: h[0] is the worst of the n best so far,
 	// the element the next candidate has to beat.
-	h := make([]int, n)
+	h := s.I1(n)
 	for i := range h {
 		h[i] = i
 	}
@@ -48,7 +54,7 @@ func SelectTopN(total, n int, less func(a, b int) bool) []int {
 			siftDown(h, 0, less)
 		}
 	}
-	sort.Slice(h, func(a, b int) bool { return less(h[a], h[b]) })
+	sortIdx(h, less)
 	return h
 }
 

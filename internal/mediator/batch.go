@@ -11,33 +11,70 @@ import (
 
 // BatchResult is the outcome of one query within a MediateBatch call.
 type BatchResult struct {
-	// Alloc is the allocation; nil when Err is set.
+	// Alloc is the allocation; nil when Err is set. Its Pq/CI/PI/Selected
+	// alias server-owned batch scratch and are valid until the next
+	// MediateBatch on this server.
 	Alloc *Allocation
 	// Err is the per-query mediation error (ErrNoProviders for an empty
 	// Pq, ErrServerClosed after Close, a validation error otherwise).
 	Err error
 }
 
-// batchMemo caches the work a batch amortizes across queries that share a
-// class or a consumer. All cached state is valid for one mediation turn:
-// nothing a commit touches (satisfaction trackers) feeds it, so reusing it
-// across the batch is observably identical to recomputing it per query.
-type batchMemo struct {
-	now float64
-	// pq and pi are per query class. The provider intentions of Definition
-	// 8 depend only on (provider, class, clock) — not on the consumer — so
-	// one PI⃗ vector serves every query of the class in the batch.
-	pq map[int][]*model.Provider
-	pi map[int][]float64
+// batchScratch is the server-owned working memory MediateBatch reuses
+// across batches. Each batch bumps the epoch; per-class and per-(consumer,
+// class) cached vectors carry the epoch they were computed in, so
+// "recompute this batch?" is one integer compare and nothing is cleared or
+// reallocated between batches. Buffer capacities converge to the workload's
+// high-water mark, after which a batch's only heap allocations are the two
+// result slices it returns.
+type batchScratch struct {
+	epoch uint64
+	// pq/pi/stamp are per query class (classes are dense small ints). The
+	// provider intentions of Definition 8 depend only on (provider, class,
+	// clock) — not on the consumer — so one PI⃗ vector serves every query
+	// of the class in the batch. The pq buffers also isolate the batch from
+	// the matchmaker: an index's posting list may be compacted in place by
+	// a later turn's lazy prune, so the batch copies into storage it owns.
+	pq    [][]*model.Provider
+	pi    [][]float64
+	stamp []uint64
 	// ci is per (consumer, class): Definition 7 reads the consumer's
 	// preferences and the providers' reputations, neither of which a
-	// mediation commit updates.
-	ci map[ciKey][]float64
+	// mediation commit updates. Entries persist across batches (bounded by
+	// the distinct pairs the workload produces) and revalidate by epoch.
+	ci map[ciKey]*ciEntry
+	// sel backs the per-query Selected copies: reset per batch, appended
+	// per query. A regrow strands the old block with the batch that
+	// references it, so earlier results stay intact.
+	sel []int
+	// allocs is the per-batch Allocation slab (one allocation per batch
+	// instead of one per query).
+	allocs []Allocation
 }
 
 type ciKey struct {
 	consumer *model.Consumer
 	class    int
+}
+
+type ciEntry struct {
+	epoch uint64
+	buf   []float64
+}
+
+// class ensures the per-class vectors cover class and returns whether the
+// class's cached pq/pi are valid for the current epoch.
+func (b *batchScratch) class(class int) bool {
+	if class >= len(b.stamp) {
+		pq := make([][]*model.Provider, class+1)
+		pi := make([][]float64, class+1)
+		stamp := make([]uint64, class+1)
+		copy(pq, b.pq)
+		copy(pi, b.pi)
+		copy(stamp, b.stamp)
+		b.pq, b.pi, b.stamp = pq, pi, stamp
+	}
+	return b.stamp[class] == b.epoch
 }
 
 // MediateBatch mediates a batch of queries under one mediation turn: one
@@ -55,7 +92,10 @@ type ciKey struct {
 //
 // Intentions are computed synchronously in-process (the throughput path);
 // the concurrent Collector fan-out of Mediate is for slow or remote
-// participants and reports CollectErrors/CollectTimeouts instead.
+// participants and reports CollectErrors/CollectTimeouts instead. The
+// returned allocations alias the server's batch scratch and are valid
+// until the next MediateBatch call; steady-state cost is two small slice
+// allocations per batch, independent of |Pq| and batch size.
 func (s *Server) MediateBatch(ctx context.Context, qs []*model.Query) []BatchResult {
 	out := make([]BatchResult, len(qs))
 	if len(qs) == 0 {
@@ -73,12 +113,14 @@ func (s *Server) MediateBatch(ctx context.Context, qs []*model.Query) []BatchRes
 	if match == nil {
 		match = AllProviders{}
 	}
-	memo := batchMemo{
-		now: s.now(),
-		pq:  make(map[int][]*model.Provider),
-		pi:  make(map[int][]float64),
-		ci:  make(map[ciKey][]float64),
+	b := &s.batch
+	b.epoch++
+	if b.ci == nil {
+		b.ci = make(map[ciKey]*ciEntry)
 	}
+	b.sel = b.sel[:0]
+	b.allocs = make([]Allocation, len(qs))
+	now := s.now()
 	for i, q := range qs {
 		if err := ctx.Err(); err != nil {
 			out[i].Err = err
@@ -88,43 +130,53 @@ func (s *Server) MediateBatch(ctx context.Context, qs []*model.Query) []BatchRes
 			out[i].Err = errors.New("mediator: query needs a consumer")
 			continue
 		}
-		pq, ok := memo.pq[q.Class]
-		if !ok {
-			// Copy once per class: the index's posting list may be
-			// compacted by a later turn's lazy prune, and every allocation
-			// of this batch escapes the lock aliasing this slice.
-			pq = append([]*model.Provider(nil), match.Match(q, s.pop)...)
-			memo.pq[q.Class] = pq
+		if !b.class(q.Class) {
+			pq := b.pq[q.Class][:0]
+			if bm, ok := match.(BufferedMatchmaker); ok {
+				pq = bm.MatchInto(pq, q, s.pop)
+			} else {
+				pq = append(pq, match.Match(q, s.pop)...)
+			}
+			b.pq[q.Class] = pq
+			pi := growFloats(b.pi[q.Class], len(pq))
+			for j, p := range pq {
+				pi[j] = intention.Provider(p.Preference(q.Class), p.OperationalLoad(now), p.SmoothSat, p.Epsilon)
+			}
+			b.pi[q.Class] = pi
+			b.stamp[q.Class] = b.epoch
 		}
+		pq := b.pq[q.Class]
 		if len(pq) == 0 {
 			out[i].Err = fmt.Errorf("%w (query %d)", ErrNoProviders, q.ID)
 			continue
 		}
-		pi, ok := memo.pi[q.Class]
-		if !ok {
-			pi = make([]float64, len(pq))
-			for j, p := range pq {
-				pi[j] = intention.Provider(p.Preference(q.Class), p.OperationalLoad(memo.now), p.SmoothSat, p.Epsilon)
-			}
-			memo.pi[q.Class] = pi
-		}
+		pi := b.pi[q.Class]
 		key := ciKey{consumer: q.Consumer, class: q.Class}
-		ci, ok := memo.ci[key]
-		if !ok {
-			c := q.Consumer
-			ci = make([]float64, len(pq))
-			for j, p := range pq {
-				ci[j] = intention.Consumer(c.Preference(p, q.Class), p.Reputation, c.Upsilon, c.Epsilon)
-			}
-			memo.ci[key] = ci
+		e := b.ci[key]
+		if e == nil {
+			e = &ciEntry{}
+			b.ci[key] = e
 		}
-		alloc, err := s.med.AllocateCollected(memo.now, q, pq, ci, pi)
-		if err != nil {
+		if e.epoch != b.epoch {
+			c := q.Consumer
+			e.buf = growFloats(e.buf, len(pq))
+			for j, p := range pq {
+				e.buf[j] = intention.Consumer(c.Preference(p, q.Class), p.Reputation, c.Upsilon, c.Epsilon)
+			}
+			e.epoch = b.epoch
+		}
+		alloc := &b.allocs[i]
+		if err := s.med.allocateInto(alloc, now, q, pq, e.buf, pi); err != nil {
 			out[i].Err = err
 			continue
 		}
+		// Copy the selection out of the mediator scratch before the next
+		// query's commit overwrites it.
+		start := len(b.sel)
+		b.sel = append(b.sel, alloc.Selected...)
+		alloc.Selected = b.sel[start:len(b.sel):len(b.sel)]
 		if s.apply {
-			s.applyAllocation(memo.now, q, alloc)
+			s.applyAllocation(now, q, alloc)
 		}
 		out[i].Alloc = alloc
 	}

@@ -11,6 +11,7 @@ import (
 	"fmt"
 
 	"sqlb/internal/allocator"
+	"sqlb/internal/core"
 	"sqlb/internal/intention"
 	"sqlb/internal/model"
 )
@@ -34,6 +35,19 @@ type Matchmaker interface {
 	Match(q *model.Query, pop *model.Population) []*model.Provider
 }
 
+// BufferedMatchmaker is the allocation-free variant of Matchmaker: MatchInto
+// appends the matchmade set to buf (reusing its capacity) instead of
+// allocating a fresh slice per query. The mediator's fast path probes for it
+// and lends its own scratch buffer; the ordering contract is the same as
+// Match's. Matchmakers that already answer from internal storage without
+// allocating (the inverted index) need not implement it.
+type BufferedMatchmaker interface {
+	Matchmaker
+	// MatchInto appends the alive providers able to treat q to buf and
+	// returns the extended slice, in ascending provider-ID order.
+	MatchInto(buf []*model.Provider, q *model.Query, pop *model.Population) []*model.Provider
+}
+
 // AllProviders is the experimental-setup matchmaker: every provider still
 // registered to the mediator can treat every query.
 type AllProviders struct{}
@@ -41,6 +55,16 @@ type AllProviders struct{}
 // Match implements Matchmaker.
 func (AllProviders) Match(_ *model.Query, pop *model.Population) []*model.Provider {
 	return pop.AliveProviders()
+}
+
+// MatchInto implements BufferedMatchmaker.
+func (AllProviders) MatchInto(buf []*model.Provider, _ *model.Query, pop *model.Population) []*model.Provider {
+	for _, p := range pop.Providers {
+		if p.Alive {
+			buf = append(buf, p)
+		}
+	}
+	return buf
 }
 
 // CapabilityMatcher matches on a per-provider capability predicate; used by
@@ -52,13 +76,17 @@ type CapabilityMatcher struct {
 
 // Match implements Matchmaker.
 func (m CapabilityMatcher) Match(q *model.Query, pop *model.Population) []*model.Provider {
-	out := make([]*model.Provider, 0, len(pop.Providers))
+	return m.MatchInto(make([]*model.Provider, 0, len(pop.Providers)), q, pop)
+}
+
+// MatchInto implements BufferedMatchmaker.
+func (m CapabilityMatcher) MatchInto(buf []*model.Provider, q *model.Query, pop *model.Population) []*model.Provider {
 	for _, p := range pop.Providers {
 		if p.Alive && (m.Capable == nil || m.Capable(p, q.Class)) {
-			out = append(out, p)
+			buf = append(buf, p)
 		}
 	}
-	return out
+	return buf
 }
 
 // ByCapability returns the naive sound-and-complete matchmaker over the
@@ -76,13 +104,14 @@ func ByCapability() CapabilityMatcher {
 type Allocation struct {
 	// Query is the mediated query.
 	Query *model.Query
-	// Pq is the matchmade provider set. When obtained from a Mediator
-	// wired directly to an indexed matchmaker it may alias the index's
-	// internal posting list (kept allocation-free for the simulator's
-	// hot path) and is only valid until the next mediation or provider
-	// churn event — callers that retain providers past that point must
-	// copy (SelectedProviders does). Allocations returned by Server.
-	// Mediate carry their own copy and are safe to retain.
+	// Pq is the matchmade provider set. When obtained from Mediator.
+	// Allocate it aliases mediator scratch or the index's internal posting
+	// list (both kept allocation-free for the simulator's hot path) and is
+	// only valid until the next mediation or provider churn event — as is
+	// the whole Allocation on that path; callers that retain providers
+	// past that point must copy (SelectedProviders does). Allocations
+	// returned by Server.Mediate carry their own copies and are safe to
+	// retain; Server.MediateBatch results stay valid until the next batch.
 	Pq []*model.Provider
 	// CI and PI are the expressed intentions, indexed like Pq.
 	CI []float64
@@ -129,10 +158,45 @@ type Mediator struct {
 	// so any partition — including the nil serial one — produces identical
 	// bytes. Nil keeps the historical single-threaded loops.
 	Exec func(n int, fn func(lo, hi int))
+
+	// scratch holds the mediator's reusable per-mediation buffers. A
+	// mediator serializes its mediations (the engine's event loop, the
+	// server's mu), so one set suffices; the sharded executor only ever
+	// writes disjoint index ranges of these vectors.
+	scratch medScratch
+}
+
+// medScratch is the reusable working memory of one mediator: the intention,
+// satisfaction, and matchmade vectors of the current mediation, the
+// epoch-stamped selected-set marks, the strategy's buffer pool, and the
+// request/allocation shells handed out by the fast path. Everything here is
+// sized once at the population's high-water mark and then recycled, which
+// is what takes the steady-state mediation to zero heap allocations.
+type medScratch struct {
+	strat    core.Scratch // lent to the strategy via Request.Scratch
+	pq       []*model.Provider
+	ci       []float64
+	pi       []float64
+	provSat  []float64
+	selStamp []uint64 // selStamp[i] == epoch ⇔ Pq[i] selected this mediation
+	epoch    uint64
+	req      allocator.Request
+	alloc    Allocation
+}
+
+// growFloats returns buf resized to n, reallocating only on capacity growth.
+func growFloats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
 }
 
 // forRange runs fn over [0, n): through Exec when configured, serially
-// otherwise.
+// otherwise. Hot-path callers branch on Exec themselves before building a
+// closure — a func literal passed to the Exec field escapes to the heap, so
+// the serial (Exec == nil) path must run its loop inline to stay
+// allocation-free.
 func (m *Mediator) forRange(n int, fn func(lo, hi int)) {
 	if m.Exec != nil {
 		m.Exec(n, fn)
@@ -155,43 +219,88 @@ func New(strategy allocator.Allocator) *Mediator {
 // and result notification (recording into every participant's satisfaction
 // windows). The strategy sees only public information: expressed intentions
 // and intention-based satisfactions.
+//
+// This is the simulator's hot path and allocates nothing in steady state:
+// the returned Allocation and every slice it carries live in the mediator's
+// scratch and are valid only until the next mediation on this mediator (or
+// provider churn, for Pq). Callers that retain anything past that point
+// must copy (SelectedProviders does); Server.Mediate returns durable
+// allocations instead.
 func (m *Mediator) Allocate(now float64, q *model.Query, pop *model.Population) (*Allocation, error) {
 	match := m.Match
 	if match == nil {
 		match = AllProviders{}
 	}
-	pq := match.Match(q, pop)
+	var pq []*model.Provider
+	if bm, ok := match.(BufferedMatchmaker); ok {
+		m.scratch.pq = bm.MatchInto(m.scratch.pq[:0], q, pop)
+		pq = m.scratch.pq
+	} else {
+		pq = match.Match(q, pop)
+	}
 	if len(pq) == 0 {
 		return nil, fmt.Errorf("%w (query %d)", ErrNoProviders, q.ID)
 	}
-	ci := make([]float64, len(pq))
-	pi := make([]float64, len(pq))
-	m.forRange(len(pq), func(lo, hi int) { intentionsRange(now, q, pq, ci, pi, lo, hi) })
-	return m.AllocateCollected(now, q, pq, ci, pi)
+	sc := &m.scratch
+	sc.ci = growFloats(sc.ci, len(pq))
+	sc.pi = growFloats(sc.pi, len(pq))
+	ci, pi := sc.ci, sc.pi
+	if m.Exec != nil {
+		m.Exec(len(pq), func(lo, hi int) { intentionsRange(now, q, pq, ci, pi, lo, hi) })
+	} else {
+		intentionsRange(now, q, pq, ci, pi, 0, len(pq))
+	}
+	if err := m.allocateInto(&sc.alloc, now, q, pq, ci, pi); err != nil {
+		return nil, err
+	}
+	return &sc.alloc, nil
 }
 
 // AllocateCollected performs the allocation commit of Algorithm 1 (lines
 // 6-10) once the intention vectors have been gathered — by Intentions for
 // the in-process fast path or by a Collector for the concurrent/live path
 // (see Server). It scores, ranks, selects, and notifies every provider in
-// Pq of the mediation result.
+// Pq of the mediation result. The returned Allocation owns its Selected set
+// and is safe to retain (Pq/CI/PI alias the caller's slices).
 func (m *Mediator) AllocateCollected(now float64, q *model.Query, pq []*model.Provider, ci, pi []float64) (*Allocation, error) {
+	alloc := &Allocation{}
+	if err := m.allocateInto(alloc, now, q, pq, ci, pi); err != nil {
+		return nil, err
+	}
+	alloc.Selected = append([]int(nil), alloc.Selected...)
+	return alloc, nil
+}
+
+// allocateInto is the shared allocation commit: it scores, ranks, selects,
+// records the result, and fills out in place. Out's Selected aliases the
+// strategy's scratch selection and is valid only until the next mediation
+// on this mediator — callers that let the allocation escape copy it
+// (AllocateCollected) or arena it (Server.MediateBatch).
+func (m *Mediator) allocateInto(out *Allocation, now float64, q *model.Query, pq []*model.Provider, ci, pi []float64) error {
 	if m.Strategy == nil {
-		return nil, errors.New("mediator: no allocation strategy configured")
+		return errors.New("mediator: no allocation strategy configured")
 	}
 	if len(pq) == 0 {
-		return nil, fmt.Errorf("%w (query %d)", ErrNoProviders, q.ID)
+		return fmt.Errorf("%w (query %d)", ErrNoProviders, q.ID)
 	}
 	if len(ci) != len(pq) || len(pi) != len(pq) {
-		return nil, fmt.Errorf("mediator: intention vectors sized %d/%d for %d providers", len(ci), len(pi), len(pq))
+		return fmt.Errorf("mediator: intention vectors sized %d/%d for %d providers", len(ci), len(pi), len(pq))
 	}
-	provSat := make([]float64, len(pq))
-	m.forRange(len(pq), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
+	sc := &m.scratch
+	sc.provSat = growFloats(sc.provSat, len(pq))
+	provSat := sc.provSat
+	if m.Exec != nil {
+		m.Exec(len(pq), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				provSat[i] = pq[i].Public.Satisfaction()
+			}
+		})
+	} else {
+		for i := range pq {
 			provSat[i] = pq[i].Public.Satisfaction()
 		}
-	})
-	req := &allocator.Request{
+	}
+	sc.req = allocator.Request{
 		Query:       q,
 		Pq:          pq,
 		CI:          ci,
@@ -199,11 +308,13 @@ func (m *Mediator) AllocateCollected(now float64, q *model.Query, pq []*model.Pr
 		ConsumerSat: q.Consumer.Tracker.Satisfaction(),
 		ProviderSat: provSat,
 		Now:         now,
+		Scratch:     &sc.strat,
 	}
-	selected := m.Strategy.Allocate(req)
+	selected := m.Strategy.Allocate(&sc.req)
 
 	m.record(q, pq, ci, pi, selected)
-	return &Allocation{Query: q, Pq: pq, CI: ci, PI: pi, Selected: selected}, nil
+	*out = Allocation{Query: q, Pq: pq, CI: ci, PI: pi, Selected: selected}
+	return nil
 }
 
 // Intentions computes the consumer and provider intentions for a query
@@ -243,20 +354,42 @@ func intentionsRange(now float64, q *model.Query, pq []*model.Provider, ci, pi [
 // provider in Pq — selected or not — logs the proposal in both its public
 // (intention-fed) and private (preference-fed) windows. The consumer write
 // stays on the caller; the provider loop shards cleanly (provider i's
-// windows are touched by iteration i alone, and the selected-set map is
-// read-only once built), so it runs through Exec when configured.
+// windows are touched by iteration i alone, and the selected-set stamps are
+// read-only once written), so it runs through Exec when configured.
+//
+// The selected set is marked with an epoch stamp instead of a per-call map:
+// selStamp[i] == epoch means Pq[i] was selected this mediation, and bumping
+// the epoch invalidates every stale mark at once. The epoch is a uint64 and
+// never reused, so a fresh (zeroed) stamp buffer can never read as
+// selected.
 func (m *Mediator) record(q *model.Query, pq []*model.Provider, ci, pi []float64, selected []int) {
 	q.Consumer.Tracker.RecordAllocation(ci, selected, q.N)
-	isSelected := make(map[int]bool, len(selected))
-	for _, idx := range selected {
-		isSelected[idx] = true
+	sc := &m.scratch
+	if cap(sc.selStamp) < len(pq) {
+		sc.selStamp = make([]uint64, len(pq))
 	}
-	m.forRange(len(pq), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			p := pq[i]
-			performed := isSelected[i]
+	sc.selStamp = sc.selStamp[:cap(sc.selStamp)]
+	sc.epoch++
+	for _, idx := range selected {
+		if idx >= 0 && idx < len(pq) {
+			sc.selStamp[idx] = sc.epoch
+		}
+	}
+	stamp, epoch := sc.selStamp, sc.epoch
+	if m.Exec != nil {
+		m.Exec(len(pq), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				p := pq[i]
+				performed := stamp[i] == epoch
+				p.Public.Record(pi[i], performed)
+				p.Private.Record(p.Preference(q.Class), performed)
+			}
+		})
+	} else {
+		for i, p := range pq {
+			performed := stamp[i] == epoch
 			p.Public.Record(pi[i], performed)
 			p.Private.Record(p.Preference(q.Class), performed)
 		}
-	})
+	}
 }

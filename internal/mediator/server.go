@@ -27,6 +27,8 @@ type Server struct {
 
 	mu     sync.Mutex
 	closed bool
+	// batch is MediateBatch's reusable working memory; guarded by mu.
+	batch batchScratch
 	// apply makes the server commit each allocation onto the selected
 	// providers' queues (model.Provider.Assign) inside the mediation turn.
 	// The discrete-event engine applies allocations itself; a serving

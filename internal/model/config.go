@@ -92,6 +92,21 @@ type Config struct {
 	// weight 1/(i+1)^ClassSkew (Zipf-like). 0 (the default, and the
 	// paper's setting) keeps the uniform class mix of Section 6.1.
 	ClassSkew float64
+
+	// HashedConsumerPrefs switches consumer preferences from stored to
+	// procedural: instead of materializing prf_c(p) for every (consumer,
+	// provider) pair — O(|C|·|P|) floats, which at 1M consumers × 100k
+	// providers would be 800 GB — each consumer draws one 64-bit seed and
+	// prf_c(p) is derived on demand by hashing (seed, p.ID) into a uniform
+	// draw from p's interest band. The marginal distribution is the same
+	// as the stored setup's (uniform within the band, independent across
+	// pairs), preferences stay fixed for a consumer's lifetime, and
+	// SetPreference still works through a per-consumer override map. The
+	// RNG draw sequence differs from the stored mode (one draw per
+	// consumer instead of |P|), so this is opt-in for the
+	// population-scale experiments; the default keeps every published run
+	// byte-identical.
+	HashedConsumerPrefs bool
 }
 
 // DefaultConfig returns the paper's Table 2 / Section 6.1 configuration.

@@ -38,14 +38,32 @@ type Consumer struct {
 
 	// prefs[p.ID] is prf_c(·, p), drawn from the interest band of p's
 	// interest class. Per the experimental setup the preference depends on
-	// the provider, not on the query class.
-	prefs []float64
+	// the provider, not on the query class. Nil when the population runs
+	// with hashed preferences (Config.HashedConsumerPrefs): then prefSeed
+	// derives prf_c(p) on demand and prefOverride carries any scripted
+	// overrides.
+	prefs        []float64
+	hashedPrefs  bool
+	prefSeed     uint64
+	prefOverride map[int]float64
 }
 
 // Preference returns prf_c(q, p) ∈ [-1,1], the consumer's private
 // preference for allocating a query of the given class to provider p.
 func (c *Consumer) Preference(p *Provider, queryClass int) float64 {
-	if p == nil || p.ID < 0 || p.ID >= len(c.prefs) {
+	if p == nil || p.ID < 0 {
+		return 0
+	}
+	if c.hashedPrefs {
+		if c.prefOverride != nil {
+			if v, ok := c.prefOverride[p.ID]; ok {
+				return v
+			}
+		}
+		band := p.interestBand
+		return band[0] + (band[1]-band[0])*hashUnit(c.prefSeed, uint64(p.ID))
+	}
+	if p.ID >= len(c.prefs) {
 		return 0
 	}
 	return c.prefs[p.ID]
@@ -54,9 +72,32 @@ func (c *Consumer) Preference(p *Provider, queryClass int) float64 {
 // SetPreference overrides prf_c(·, p); used by examples that script
 // preference changes and by tests.
 func (c *Consumer) SetPreference(providerID int, pref float64) {
-	if providerID >= 0 && providerID < len(c.prefs) {
+	if providerID < 0 {
+		return
+	}
+	if c.hashedPrefs {
+		if c.prefOverride == nil {
+			c.prefOverride = make(map[int]float64)
+		}
+		c.prefOverride[providerID] = satisfaction.Clamp(pref)
+		return
+	}
+	if providerID < len(c.prefs) {
 		c.prefs[providerID] = satisfaction.Clamp(pref)
 	}
+}
+
+// hashUnit maps (seed, x) to a uniform draw in [0,1) with a splitmix64-style
+// finalizer: cheap, stateless, and stable across runs, which is what lets a
+// hashed-preference consumer answer prf_c(p) without storing |P| floats.
+func hashUnit(seed, x uint64) float64 {
+	v := seed + x*0x9E3779B97F4A7C15
+	v ^= v >> 30
+	v *= 0xBF58476D1CE4E5B9
+	v ^= v >> 27
+	v *= 0x94D049BB133111EB
+	v ^= v >> 31
+	return float64(v>>11) / (1 << 53)
 }
 
 // Provider is an autonomous query performer with finite capacity. Its
@@ -135,6 +176,10 @@ type Provider struct {
 	// prefs[class] is prf_p(q) for each query class, drawn from the
 	// adaptation band.
 	prefs []float64
+
+	// interestBand is the [lo,hi] interest band of the provider's interest
+	// class; hashed-preference consumers derive prf_c(p) from it.
+	interestBand [2]float64
 
 	// caps is the advertised capability set as a bitset over query-class
 	// indexes; nil means "all classes" (the paper's experimental setup, in

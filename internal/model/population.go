@@ -17,6 +17,17 @@ type Population struct {
 // NewPopulation builds a population from the configuration, drawing class
 // memberships and preferences from rng. startTime anchors the utilization
 // windows (normally 0).
+//
+// Memory layout: participants, trackers, utilization windows, ring storage,
+// and preference vectors are all carved from a handful of bulk arrays
+// instead of being allocated one object at a time. Participants created
+// together therefore sit adjacent in memory — the access order of the
+// mediation loop — and building a 100k-provider population is a few large
+// allocations instead of ~1M small ones. The *Provider/*Consumer pointer
+// API is unchanged (the pointers index into the bulk arrays, and population
+// membership is fixed after construction: churn toggles Alive, it never
+// appends). The RNG draw sequence is exactly the per-object constructor's,
+// so every seeded run is byte-identical to the previous layout.
 func NewPopulation(cfg Config, rng *randx.Rand, startTime float64) *Population {
 	pop := &Population{
 		Consumers: make([]*Consumer, cfg.Consumers),
@@ -29,8 +40,23 @@ func NewPopulation(cfg Config, rng *randx.Rand, startTime float64) *Population {
 	adapt := assignClasses(cfg.Providers, cfg.AdaptShares, rng)
 	capc := assignClasses(cfg.Providers, cfg.CapacityShares, rng)
 
-	for i := range pop.Providers {
-		p := &Provider{
+	provK, consK := cfg.ProviderK, cfg.ConsumerK
+	if provK < 1 {
+		provK = 1
+	}
+	if consK < 1 {
+		consK = 1
+	}
+	arena := satisfaction.NewArena(2*consK*cfg.Consumers, 2*provK*cfg.Providers)
+	providers := make([]Provider, cfg.Providers)
+	provTrackers := make([]satisfaction.ProviderTracker, 2*cfg.Providers)
+	utils := make([]UtilizationWindow, cfg.Providers)
+	nClasses := len(cfg.QueryClasses)
+	provPrefs := make([]float64, cfg.Providers*nClasses)
+
+	for i := range providers {
+		p := &providers[i]
+		*p = Provider{
 			ID:            i,
 			Epsilon:       cfg.Epsilon,
 			InterestClass: interest[i],
@@ -38,17 +64,21 @@ func NewPopulation(cfg Config, rng *randx.Rand, startTime float64) *Population {
 			CapClass:      capc[i],
 			Capacity:      cfg.CapacityFor(capc[i]),
 			Reputation:    rng.Uniform(cfg.ReputationBand[0], cfg.ReputationBand[1]),
-			Public:        satisfaction.NewProviderTracker(cfg.ProviderK, cfg.InitialSatisfaction, cfg.PriorSamples),
-			Private:       satisfaction.NewProviderTracker(cfg.ProviderK, cfg.InitialSatisfaction, cfg.PriorSamples),
+			Public:        &provTrackers[2*i],
+			Private:       &provTrackers[2*i+1],
 			SmoothSat:     cfg.InitialSatisfaction,
 			SmoothAdq:     cfg.InitialSatisfaction,
 			SmoothUt:      cfg.InitialSatisfaction,
 			Alive:         true,
+			interestBand:  cfg.InterestBands[interest[i]],
 		}
-		p.Util = NewUtilizationWindow(cfg.UtilizationWindow, p.Capacity, startTime)
+		p.Public.Init(arena, cfg.ProviderK, cfg.InitialSatisfaction, cfg.PriorSamples)
+		p.Private.Init(arena, cfg.ProviderK, cfg.InitialSatisfaction, cfg.PriorSamples)
+		p.Util = &utils[i]
+		p.Util.Init(cfg.UtilizationWindow, p.Capacity, startTime)
 		p.LoadHorizon = cfg.LoadHorizon
 		band := cfg.AdaptBands[p.AdaptClass]
-		p.prefs = make([]float64, len(cfg.QueryClasses))
+		p.prefs = provPrefs[i*nClasses : (i+1)*nClasses : (i+1)*nClasses]
 		for c := range p.prefs {
 			p.prefs[c] = rng.Uniform(band[0], band[1])
 		}
@@ -57,20 +87,33 @@ func NewPopulation(cfg Config, rng *randx.Rand, startTime float64) *Population {
 
 	assignCapabilities(pop.Providers, cfg, rng)
 
-	for i := range pop.Consumers {
-		c := &Consumer{
+	consumers := make([]Consumer, cfg.Consumers)
+	consTrackers := make([]satisfaction.ConsumerTracker, cfg.Consumers)
+	var consPrefs []float64
+	if !cfg.HashedConsumerPrefs {
+		consPrefs = make([]float64, cfg.Consumers*cfg.Providers)
+	}
+	for i := range consumers {
+		c := &consumers[i]
+		*c = Consumer{
 			ID:        i,
 			Upsilon:   cfg.Upsilon,
 			Epsilon:   cfg.Epsilon,
-			Tracker:   satisfaction.NewConsumerTracker(cfg.ConsumerK, cfg.InitialSatisfaction, cfg.PriorSamples),
+			Tracker:   &consTrackers[i],
 			SmoothSat: cfg.InitialSatisfaction,
 			SmoothAdq: cfg.InitialSatisfaction,
 			Alive:     true,
-			prefs:     make([]float64, cfg.Providers),
 		}
-		for j, p := range pop.Providers {
-			band := cfg.InterestBands[p.InterestClass]
-			c.prefs[j] = rng.Uniform(band[0], band[1])
+		c.Tracker.Init(arena, cfg.ConsumerK, cfg.InitialSatisfaction, cfg.PriorSamples)
+		if cfg.HashedConsumerPrefs {
+			c.hashedPrefs = true
+			c.prefSeed = rng.Uint64()
+		} else {
+			c.prefs = consPrefs[i*cfg.Providers : (i+1)*cfg.Providers : (i+1)*cfg.Providers]
+			for j, p := range pop.Providers {
+				band := cfg.InterestBands[p.InterestClass]
+				c.prefs[j] = rng.Uniform(band[0], band[1])
+			}
 		}
 		pop.Consumers[i] = c
 	}

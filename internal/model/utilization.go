@@ -29,13 +29,21 @@ type utilEvent struct {
 // NewUtilizationWindow returns a window of w seconds for a provider of the
 // given capacity (units/second), observing from time start.
 func NewUtilizationWindow(w, capacity, start float64) *UtilizationWindow {
+	u := &UtilizationWindow{}
+	u.Init(w, capacity, start)
+	return u
+}
+
+// Init (re)initializes the window in place; population builders use it to
+// lay windows out in one bulk array instead of allocating per provider.
+func (u *UtilizationWindow) Init(w, capacity, start float64) {
 	if w <= 0 {
 		w = 1
 	}
 	if capacity <= 0 {
 		capacity = 1e-9
 	}
-	return &UtilizationWindow{window: w, capacity: capacity, start: start}
+	*u = UtilizationWindow{window: w, capacity: capacity, start: start}
 }
 
 // Add records units of work assigned at time now.

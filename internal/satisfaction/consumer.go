@@ -35,34 +35,47 @@ func QuerySatisfaction(selectedIntentions []float64, n int) float64 {
 }
 
 // ConsumerTracker maintains the Section 3.1 characteristics of one consumer
-// over its k last issued queries (the set IQ_c^k).
+// over its k last issued queries (the set IQ_c^k). The two windows are
+// embedded by value so a population of trackers is a single dense array;
+// only their ring buffers live elsewhere (in an Arena when one is used).
 type ConsumerTracker struct {
-	adequation   *Window
-	satisfaction *Window
+	adequation   Window
+	satisfaction Window
 }
 
 // NewConsumerTracker returns a tracker with window size k, initial
 // characteristic value prior (0.5 in the paper's setup) and priorSamples
 // virtual prior samples.
 func NewConsumerTracker(k int, prior float64, priorSamples int) *ConsumerTracker {
-	return &ConsumerTracker{
-		adequation:   NewWindow(k, prior, priorSamples),
-		satisfaction: NewWindow(k, prior, priorSamples),
-	}
+	t := &ConsumerTracker{}
+	t.Init(nil, k, prior, priorSamples)
+	return t
+}
+
+// Init (re)initializes a tracker in place, carving both ring buffers from
+// the arena (nil arena → plain allocations). It lets population builders
+// lay trackers out in bulk arrays instead of allocating one by one.
+func (t *ConsumerTracker) Init(a *Arena, k int, prior float64, priorSamples int) {
+	t.adequation.Init(a, k, prior, priorSamples)
+	t.satisfaction.Init(a, k, prior, priorSamples)
 }
 
 // RecordAllocation records one query allocation: the consumer's intentions
 // towards every provider in Pq, the subset of indexes that received the
-// query, and the desired number of results q.n.
+// query, and the desired number of results q.n. The satisfaction sum is
+// folded inline — this sits on the mediation hot path and must not allocate.
 func (t *ConsumerTracker) RecordAllocation(intentions []float64, selected []int, n int) {
 	t.adequation.Push(QueryAdequation(intentions))
-	sel := make([]float64, 0, len(selected))
+	if n < 1 {
+		n = 1
+	}
+	sum := 0.0
 	for _, idx := range selected {
 		if idx >= 0 && idx < len(intentions) {
-			sel = append(sel, intentions[idx])
+			sum += Clamp(intentions[idx])
 		}
 	}
-	t.satisfaction.Push(QuerySatisfaction(sel, n))
+	t.satisfaction.Push((sum/float64(n) + 1) / 2)
 }
 
 // RecordValues records pre-computed per-query adequation and satisfaction

@@ -39,14 +39,23 @@ type entry struct {
 // allocation (a provider that rarely performs reads spells of zero
 // satisfaction even when the queries it does get are fine).
 func NewProviderTracker(k int, prior float64, priorSamples int) *ProviderTracker {
+	t := &ProviderTracker{}
+	t.Init(nil, k, prior, priorSamples)
+	return t
+}
+
+// Init (re)initializes the tracker in place with its entry ring carved from
+// the arena (nil arena → a plain allocation), so population builders can lay
+// trackers out in bulk arrays backed by one contiguous entry block.
+func (t *ProviderTracker) Init(a *Arena, k int, prior float64, priorSamples int) {
 	if k < 1 {
 		k = 1
 	}
 	if priorSamples < 0 {
 		priorSamples = 0
 	}
-	return &ProviderTracker{
-		entries:      make([]entry, k),
+	*t = ProviderTracker{
+		entries:      a.entryBuf(k),
 		prior:        prior,
 		priorSamples: priorSamples,
 	}

@@ -1,0 +1,229 @@
+package satisfaction
+
+import (
+	"math"
+	"testing"
+
+	"sqlb/internal/randx"
+)
+
+// Property tests for the O(1) ring buffers: Window and ProviderTracker keep
+// running aggregates (sum, performed-sum, counts) that are updated
+// incrementally as values slide in and out. The oracles below recompute
+// every characteristic from scratch over a plain slice of the full history,
+// so any drift in the incremental bookkeeping — a missed eviction, a wrong
+// head wrap, a stale performed flag — shows up as a mismatch.
+
+// windowOracle recomputes the prior-blended mean over the last k values of
+// the full history.
+type windowOracle struct {
+	k            int
+	prior        float64
+	priorSamples int
+	history      []float64
+}
+
+func (o *windowOracle) push(v float64) { o.history = append(o.history, v) }
+
+func (o *windowOracle) window() []float64 {
+	if len(o.history) <= o.k {
+		return o.history
+	}
+	return o.history[len(o.history)-o.k:]
+}
+
+func (o *windowOracle) mean() float64 {
+	w := o.window()
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	n := len(w)
+	if n >= o.priorSamples {
+		if n == 0 {
+			return o.prior
+		}
+		return sum / float64(n)
+	}
+	return (o.prior*float64(o.priorSamples-n) + sum) / float64(o.priorSamples)
+}
+
+func (o *windowOracle) rawMean() (float64, bool) {
+	w := o.window()
+	if len(w) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, v := range w {
+		sum += v
+	}
+	return sum / float64(len(w)), true
+}
+
+// trackerOracle recomputes Definitions 4-5 over the last k proposals of the
+// full history.
+type trackerOracle struct {
+	k            int
+	prior        float64
+	priorSamples int
+	history      []entry
+}
+
+func (o *trackerOracle) record(shown float64, performed bool) {
+	o.history = append(o.history, entry{rated: Rate(shown), performed: performed})
+}
+
+func (o *trackerOracle) window() []entry {
+	if len(o.history) <= o.k {
+		return o.history
+	}
+	return o.history[len(o.history)-o.k:]
+}
+
+func (o *trackerOracle) adequation() float64 {
+	w := o.window()
+	sum := 0.0
+	for _, e := range w {
+		sum += e.rated
+	}
+	n := len(w)
+	if n >= o.priorSamples {
+		if n == 0 {
+			return o.prior
+		}
+		return sum / float64(n)
+	}
+	return (o.prior*float64(o.priorSamples-n) + sum) / float64(o.priorSamples)
+}
+
+func (o *trackerOracle) satisfaction() float64 {
+	w := o.window()
+	perfSum, perfN := 0.0, 0
+	for _, e := range w {
+		if e.performed {
+			perfSum += e.rated
+			perfN++
+		}
+	}
+	if len(w) < o.priorSamples {
+		pw := float64(o.priorSamples - len(w))
+		return (o.prior*pw + perfSum) / (pw + float64(perfN))
+	}
+	if perfN == 0 {
+		return 0
+	}
+	return perfSum / float64(perfN)
+}
+
+// eq compares with a tolerance for the float drift the incremental sums
+// accumulate relative to a fresh summation.
+func eq(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	return math.Abs(a-b) < 1e-9
+}
+
+func TestWindowMatchesOracle(t *testing.T) {
+	rng := randx.New(0x5eed)
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + int(rng.Uint64()%20)
+		priorSamples := int(rng.Uint64() % 10)
+		prior := rng.Float64()
+		w := NewWindow(k, prior, priorSamples)
+		o := &windowOracle{k: k, prior: prior, priorSamples: priorSamples}
+		if got, want := w.Mean(), o.mean(); !eq(got, want) {
+			t.Fatalf("trial %d empty: Mean=%v oracle=%v (k=%d ps=%d)", trial, got, want, k, priorSamples)
+		}
+		steps := 3*k + int(rng.Uint64()%20)
+		for i := 0; i < steps; i++ {
+			v := rng.Float64()
+			w.Push(v)
+			o.push(v)
+			if got, want := w.Mean(), o.mean(); !eq(got, want) {
+				t.Fatalf("trial %d step %d: Mean=%v oracle=%v (k=%d ps=%d)", trial, i, got, want, k, priorSamples)
+			}
+			gr, gok := w.RawMean()
+			wr, wok := o.rawMean()
+			if gok != wok || !eq(gr, wr) {
+				t.Fatalf("trial %d step %d: RawMean=(%v,%v) oracle=(%v,%v)", trial, i, gr, gok, wr, wok)
+			}
+			if w.Len() != len(o.window()) {
+				t.Fatalf("trial %d step %d: Len=%d oracle=%d", trial, i, w.Len(), len(o.window()))
+			}
+		}
+	}
+}
+
+func TestProviderTrackerMatchesOracle(t *testing.T) {
+	rng := randx.New(0xfeed)
+	for trial := 0; trial < 50; trial++ {
+		k := 1 + int(rng.Uint64()%20)
+		priorSamples := int(rng.Uint64() % 10)
+		prior := rng.Float64()
+		tr := NewProviderTracker(k, prior, priorSamples)
+		o := &trackerOracle{k: k, prior: prior, priorSamples: priorSamples}
+		steps := 3*k + int(rng.Uint64()%20)
+		for i := 0; i < steps; i++ {
+			shown := rng.Uniform(-1.2, 1.2) // exercise the clamp too
+			performed := rng.Uint64()%3 != 0
+			tr.Record(shown, performed)
+			o.record(shown, performed)
+			if got, want := tr.Adequation(), o.adequation(); !eq(got, want) {
+				t.Fatalf("trial %d step %d: Adequation=%v oracle=%v (k=%d ps=%d)", trial, i, got, want, k, priorSamples)
+			}
+			if got, want := tr.Satisfaction(), o.satisfaction(); !eq(got, want) {
+				t.Fatalf("trial %d step %d: Satisfaction=%v oracle=%v (k=%d ps=%d)", trial, i, got, want, k, priorSamples)
+			}
+			if got, want := tr.Proposed(), len(o.window()); got != want {
+				t.Fatalf("trial %d step %d: Proposed=%d oracle=%d", trial, i, got, want)
+			}
+		}
+	}
+}
+
+// TestArenaBackedEquivalence pins that arena-carved rings behave exactly
+// like individually allocated ones, and that neighbouring rings carved from
+// the same arena do not bleed into each other.
+func TestArenaBackedEquivalence(t *testing.T) {
+	const k, n = 7, 10
+	a := NewArena(2*k*n+k*n, k*n)
+	plainW := make([]*Window, n)
+	arenaW := make([]Window, n)
+	plainT := make([]*ProviderTracker, n)
+	arenaT := make([]ProviderTracker, n)
+	plainC := make([]*ConsumerTracker, n)
+	arenaC := make([]ConsumerTracker, n)
+	for i := 0; i < n; i++ {
+		plainW[i] = NewWindow(k, 0.5, 3)
+		arenaW[i].Init(a, k, 0.5, 3)
+		plainT[i] = NewProviderTracker(k, 0.5, 3)
+		arenaT[i].Init(a, k, 0.5, 3)
+		plainC[i] = NewConsumerTracker(k, 0.5, 3)
+		arenaC[i].Init(a, k, 0.5, 3)
+	}
+	rng := randx.New(42)
+	intentions := []float64{0.9, -0.3, 0.5, 0.1}
+	selected := []int{0, 2}
+	for step := 0; step < 40; step++ {
+		i := int(rng.Uint64() % uint64(n))
+		v := rng.Uniform(-1, 1)
+		plainW[i].Push(v)
+		arenaW[i].Push(v)
+		plainT[i].Record(v, step%2 == 0)
+		arenaT[i].Record(v, step%2 == 0)
+		plainC[i].RecordAllocation(intentions, selected, 2)
+		arenaC[i].RecordAllocation(intentions, selected, 2)
+	}
+	for i := 0; i < n; i++ {
+		if plainW[i].Mean() != arenaW[i].Mean() {
+			t.Fatalf("window %d: plain=%v arena=%v", i, plainW[i].Mean(), arenaW[i].Mean())
+		}
+		if plainT[i].Adequation() != arenaT[i].Adequation() || plainT[i].Satisfaction() != arenaT[i].Satisfaction() {
+			t.Fatalf("tracker %d diverged", i)
+		}
+		if plainC[i].Adequation() != arenaC[i].Adequation() || plainC[i].Satisfaction() != arenaC[i].Satisfaction() {
+			t.Fatalf("consumer tracker %d diverged", i)
+		}
+	}
+}

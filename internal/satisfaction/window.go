@@ -53,13 +53,22 @@ type Window struct {
 // NewWindow returns a window of capacity k (k >= 1) with the given prior
 // and prior weight (in virtual samples).
 func NewWindow(k int, prior float64, priorSamples int) *Window {
+	w := &Window{}
+	w.Init(nil, k, prior, priorSamples)
+	return w
+}
+
+// Init (re)initializes the window in place with its ring buffer carved from
+// the arena (nil arena → a plain allocation). Population builders use this
+// to back every window of a cohort with one contiguous float block.
+func (w *Window) Init(a *Arena, k int, prior float64, priorSamples int) {
 	if k < 1 {
 		k = 1
 	}
 	if priorSamples < 0 {
 		priorSamples = 0
 	}
-	return &Window{buf: make([]float64, k), prior: prior, priorSamples: priorSamples}
+	*w = Window{buf: a.floatBuf(k), prior: prior, priorSamples: priorSamples}
 }
 
 // Push records a value, evicting the oldest if the window is full.

@@ -280,8 +280,10 @@ func (e *Engine) handleArrival() {
 		fl.class = q.Class
 	}
 	e.inflight[q.ID] = fl
-	for _, p := range alloc.SelectedProviders() {
-		done := p.Assign(e.now, q.Units)
+	// Walk the selection in place — SelectedProviders would copy, and this
+	// runs once per arrival on the zero-allocation mediation path.
+	for _, idx := range alloc.Selected {
+		done := alloc.Pq[idx].Assign(e.now, q.Units)
 		e.schedule(done, evCompletion, q.ID)
 	}
 }

@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"sqlb/internal/scenario"
+)
+
+// goldenPath holds the recorded cross-PR determinism pins: a SHA-256 per
+// (case, shard count) over the serialized Result and the streamed timeline
+// CSV. TestShardedDeterminism proves the shard count is invisible *within*
+// one build; this file pins the bytes *across* refactors — the memory-layout
+// work (arena population store, mediation scratch space) must leave every
+// simulation bit-for-bit identical to the recording made before it landed.
+//
+// Regenerate deliberately (a behaviour-changing PR must say so) with:
+//
+//	SQLB_UPDATE_GOLDEN=1 go test ./internal/sim -run TestGoldenDeterminism
+const goldenPath = "testdata/golden_determinism.json"
+
+// goldenCases mirrors the TestShardedDeterminism grid: the homogeneous
+// paper setup, a heterogeneous capability workload, and every scenario
+// preset, each with full autonomy and a timeline sink attached.
+func goldenCases() []struct {
+	name   string
+	mutate func(*Options)
+} {
+	cases := []struct {
+		name   string
+		mutate func(*Options)
+	}{
+		{"homogeneous", nil},
+		{"heterogeneous", func(o *Options) {
+			o.Config = o.Config.WithClasses(6)
+			o.Config.CapabilitySelectivity = 0.34
+			o.Config.ClassSkew = 1
+			o.Autonomy = FullAutonomy()
+		}},
+	}
+	for _, name := range scenario.Names() {
+		preset, ok := scenario.Preset(name)
+		if !ok {
+			panic("preset vanished: " + name)
+		}
+		cases = append(cases, struct {
+			name   string
+			mutate func(*Options)
+		}{"scenario-" + name, func(o *Options) {
+			o.Scenario = preset
+			o.SampleInterval = o.Duration / 40
+			o.Autonomy = FullAutonomy()
+		}})
+	}
+	return cases
+}
+
+// TestGoldenDeterminism compares every golden case, at the serial engine
+// and one sharded count, against the recorded digests.
+func TestGoldenDeterminism(t *testing.T) {
+	data, err := os.ReadFile(goldenPath)
+	update := os.Getenv("SQLB_UPDATE_GOLDEN") != ""
+	if err != nil && !update {
+		t.Fatalf("read goldens (SQLB_UPDATE_GOLDEN=1 to record): %v", err)
+	}
+	want := map[string]string{}
+	if err == nil {
+		if err := json.Unmarshal(data, &want); err != nil {
+			t.Fatalf("parse %s: %v", goldenPath, err)
+		}
+	}
+
+	got := map[string]string{}
+	for _, tc := range goldenCases() {
+		for _, shards := range []int{1, 4} {
+			res, csv := runSharded(t, shards, tc.mutate)
+			sum := sha256.Sum256(append([]byte(res), csv...))
+			got[tc.name+"/shards="+string(rune('0'+shards))] = hex.EncodeToString(sum[:])
+		}
+	}
+
+	if update {
+		keys := make([]string, 0, len(got))
+		for k := range got {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(got); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("recorded %d golden digests to %s", len(got), goldenPath)
+		return
+	}
+
+	for key, digest := range got {
+		if want[key] == "" {
+			t.Errorf("%s: no recorded golden (SQLB_UPDATE_GOLDEN=1 to record)", key)
+			continue
+		}
+		if digest != want[key] {
+			t.Errorf("%s: digest %s differs from recorded %s — the run is no longer byte-identical to the pre-refactor engine",
+				key, digest, want[key])
+		}
+	}
+	if len(got) != len(want) {
+		t.Errorf("got %d digests, goldens record %d", len(got), len(want))
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strconv"
@@ -42,6 +43,10 @@ func main() {
 	out := flag.String("out", "BENCH_results.json", "output file")
 	serving := flag.String("serving", "", "sqlb-serve -json report to embed under the \"serving\" key (missing file = warn, not fail)")
 	flag.Parse()
+
+	// Load the previous record (if any) before overwriting it, so the run
+	// ends with a delta table against the last committed trajectory point.
+	previous := loadPrevious(*out)
 
 	report := Report{
 		GoVersion: runtime.Version(),
@@ -91,6 +96,82 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", len(report.Benchmarks), *out)
+	printDelta(os.Stdout, previous, report.Benchmarks)
+}
+
+// loadPrevious reads the benchmarks from an existing results file into a
+// name-indexed map. A missing or malformed file just means no delta table.
+func loadPrevious(path string) map[string]Benchmark {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil
+	}
+	var prev Report
+	if err := json.Unmarshal(data, &prev); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: previous %s unreadable, skipping delta: %v\n", path, err)
+		return nil
+	}
+	out := make(map[string]Benchmark, len(prev.Benchmarks))
+	for _, b := range prev.Benchmarks {
+		out[b.Name] = b
+	}
+	return out
+}
+
+// printDelta renders a ns/op + B/op + allocs/op comparison of the fresh run
+// against the previous record, one row per benchmark present in both. The
+// table makes perf regressions visible in the `make bench` output itself
+// instead of only in the git diff of BENCH_results.json.
+func printDelta(w io.Writer, prev map[string]Benchmark, cur []Benchmark) {
+	if len(prev) == 0 {
+		return
+	}
+	rows := 0
+	for _, b := range cur {
+		if _, ok := prev[b.Name]; ok {
+			rows++
+		}
+	}
+	if rows == 0 {
+		return
+	}
+	fmt.Fprintf(w, "\ndelta vs previous record (old -> new):\n")
+	fmt.Fprintf(w, "%-44s %26s %26s %18s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, b := range cur {
+		p, ok := prev[b.Name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-44s %26s %26s %18s\n", b.Name,
+			deltaCell(p.NsPerOp, b.NsPerOp),
+			deltaCell(p.Metrics["B/op"], b.Metrics["B/op"]),
+			deltaCell(p.Metrics["allocs/op"], b.Metrics["allocs/op"]))
+	}
+}
+
+// deltaCell formats "old -> new (+x%)" for one metric; a metric absent on
+// both sides renders as "-", and a zero baseline suppresses the percentage.
+func deltaCell(old, cur float64) string {
+	if old == 0 && cur == 0 {
+		return "-"
+	}
+	if old == 0 {
+		return fmt.Sprintf("0 -> %s", fmtNum(cur))
+	}
+	pct := (cur - old) / old * 100
+	return fmt.Sprintf("%s -> %s (%+.1f%%)", fmtNum(old), fmtNum(cur), pct)
+}
+
+// fmtNum trims benchmark numbers for table cells: integers print bare, small
+// fractions keep two decimals.
+func fmtNum(v float64) string {
+	if v == float64(int64(v)) {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	if v < 100 {
+		return strconv.FormatFloat(v, 'f', 2, 64)
+	}
+	return strconv.FormatFloat(v, 'f', 0, 64)
 }
 
 // trimProcSuffix strips the trailing "-<GOMAXPROCS>" go test appends to
